@@ -1,0 +1,126 @@
+"""Ablations of this reproduction's own design choices (DESIGN.md §5).
+
+Not a paper table — these benches justify two substitution decisions:
+
+1. **Shots ablation**: gradient error vs shot count on a noisy device.
+   Error must fall as shots grow (statistical component) but flatten
+   toward a floor (systematic device error) — this floor is exactly why
+   the paper prunes unreliable gradients instead of just buying more
+   shots.
+2. **Noise-level ablation**: the fast *logical-level* noise model (used
+   by the training benchmarks) must be a faithful proxy of the slower
+   *physical-level* model (transpile + per-native-gate channels): their
+   per-qubit expectation deviations from ideal correlate strongly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import SEED, format_table
+from repro.circuits import get_architecture
+from repro.gradients import adjoint_engine_jacobian, parameter_shift_jacobian
+from repro.hardware import IdealBackend, NoisyBackend
+
+SHOT_COUNTS = [64, 256, 1024, 4096]
+
+
+def run_shots_ablation():
+    architecture = get_architecture("mnist2")
+    rng = np.random.default_rng(SEED)
+    circuits = [
+        architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-np.pi, np.pi, 8)
+        )
+        for _ in range(4)
+    ]
+    exact = [adjoint_engine_jacobian(c) for c in circuits]
+
+    errors = {}
+    for shots in SHOT_COUNTS:
+        backend = NoisyBackend.from_device_name("ibmq_santiago", seed=SEED)
+        values = [
+            np.abs(
+                parameter_shift_jacobian(c, backend, shots=shots) - e
+            ).mean()
+            for c, e in zip(circuits, exact)
+        ]
+        errors[shots] = float(np.mean(values))
+    # Infinite-shot limit: systematic device error only.
+    backend = NoisyBackend.from_device_name("ibmq_santiago", seed=SEED)
+    floor_values = []
+    for circuit, exact_jac in zip(circuits, exact):
+        jac = np.zeros_like(exact_jac)
+        for index in range(circuit.num_parameters):
+            position = circuit.occurrences_of(index)[0]
+            f_plus = backend.exact_expectations(
+                circuit.shifted(position, +np.pi / 2)
+            )
+            f_minus = backend.exact_expectations(
+                circuit.shifted(position, -np.pi / 2)
+            )
+            jac[:, index] = 0.5 * (f_plus - f_minus)
+        floor_values.append(np.abs(jac - exact_jac).mean())
+    return errors, float(np.mean(floor_values))
+
+
+def run_noise_level_ablation():
+    architecture = get_architecture("mnist2")
+    rng = np.random.default_rng(SEED + 1)
+    logical_backend = NoisyBackend.from_device_name(
+        "ibmq_santiago", seed=SEED
+    )
+    physical_backend = NoisyBackend.from_device_name(
+        "ibmq_santiago", seed=SEED, transpile=True
+    )
+    ideal = IdealBackend(exact=True)
+    logical_dev, physical_dev = [], []
+    for _ in range(12):
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-np.pi, np.pi, 8)
+        )
+        reference = ideal.expectations([circuit])[0]
+        logical_dev.append(
+            logical_backend.exact_expectations(circuit) - reference
+        )
+        physical_dev.append(
+            physical_backend.exact_expectations(circuit) - reference
+        )
+    return np.concatenate(logical_dev), np.concatenate(physical_dev)
+
+
+def test_shots_ablation_error_floor(benchmark):
+    errors, floor = benchmark.pedantic(
+        run_shots_ablation, rounds=1, iterations=1
+    )
+    rows = [[shots, err] for shots, err in errors.items()]
+    rows.append(["inf (exact)", floor])
+    print()
+    print(format_table(
+        ["shots", "mean |grad error|"],
+        rows, title="Design ablation: gradient error vs shots (santiago)",
+    ))
+    # Statistical error decreases with shots...
+    assert errors[64] > errors[1024]
+    assert errors[256] > errors[4096] * 0.9
+    # ...but a systematic floor remains: more shots cannot reach zero.
+    assert floor > 0.0005
+    assert errors[4096] > 0.5 * floor
+
+
+def test_noise_level_proxy_fidelity(benchmark):
+    logical_dev, physical_dev = benchmark.pedantic(
+        run_noise_level_ablation, rounds=1, iterations=1
+    )
+    correlation = float(
+        np.corrcoef(logical_dev, physical_dev)[0, 1]
+    )
+    scale_ratio = float(
+        np.abs(logical_dev).mean() / np.abs(physical_dev).mean()
+    )
+    print(f"\nlogical-vs-physical deviation correlation: "
+          f"{correlation:.3f}; magnitude ratio {scale_ratio:.2f}")
+    # The cheap logical model tracks the physical model's error pattern.
+    assert correlation > 0.6
+    # And neither over- nor under-states the noise grossly.
+    assert 0.3 < scale_ratio < 3.0

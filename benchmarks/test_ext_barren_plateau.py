@@ -1,0 +1,64 @@
+"""Extension benchmark: gradient-variance decay (barren plateaus).
+
+Context for the paper's scalability discussion (Sec. 4.3): on-chip
+training removes the *classical simulation* bottleneck, but gradient
+*magnitudes* still shrink as random PQCs grow — and Fig. 2c shows small
+gradients are exactly the unreliable ones on hardware.  This bench
+quantifies the variance decay and translates it into the shot budget
+needed to resolve a typical gradient, motivating pruning over
+brute-force shots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import format_table
+from repro.analysis import (
+    shots_needed_for_relative_error,
+    variance_vs_depth,
+    variance_vs_qubits,
+)
+
+
+def run_variance_sweeps():
+    by_qubits = variance_vs_qubits(
+        qubit_counts=[2, 3, 4, 5, 6], n_samples=80, seed=0
+    )
+    by_depth = variance_vs_depth(
+        block_counts=[1, 2, 4, 6], n_qubits=4, n_samples=80, seed=0
+    )
+    return by_qubits, by_depth
+
+
+def test_barren_plateau_variance_decay(benchmark):
+    by_qubits, by_depth = benchmark.pedantic(
+        run_variance_sweeps, rounds=1, iterations=1
+    )
+
+    rows = [
+        [n, v, shots_needed_for_relative_error(max(np.sqrt(v), 1e-6))]
+        for n, v in zip(by_qubits.settings, by_qubits.variances)
+    ]
+    print()
+    print(format_table(
+        ["qubits", "Var[dE/dtheta]", "shots for 10% rel. err"],
+        rows, title="Barren plateau: variance vs qubits (depth ~ width)",
+    ))
+    print(format_table(
+        ["blocks", "Var[dE/dtheta]"],
+        [[b, v] for b, v in zip(by_depth.settings, by_depth.variances)],
+        title="Variance vs depth (4 qubits)",
+    ))
+
+    # Variance decays with width; the fitted per-qubit rate is < 1.
+    assert by_qubits.variances[0] > by_qubits.variances[-1]
+    assert by_qubits.decay_rate() < 0.9
+    # The shot budget to resolve a typical gradient grows accordingly.
+    shots_small = shots_needed_for_relative_error(
+        float(np.sqrt(by_qubits.variances[0]))
+    )
+    shots_large = shots_needed_for_relative_error(
+        float(np.sqrt(by_qubits.variances[-1]))
+    )
+    assert shots_large > shots_small

@@ -1,0 +1,59 @@
+"""Fig. 2a: theoretical #Ops and #Regs, classical simulation vs quantum.
+
+Classical cost doubles per added qubit; quantum cost is flat-to-linear.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import format_table
+from repro.scaling import advantage_factor, complexity_table, crossover_qubits
+
+QUBIT_RANGE = list(range(2, 41, 2))
+
+
+def run_fig2a():
+    return complexity_table(QUBIT_RANGE)
+
+
+def test_fig2a_complexity_scaling(benchmark):
+    table = benchmark.pedantic(run_fig2a, rounds=1, iterations=1)
+
+    rows = [
+        [
+            int(n),
+            f"{table['classical_ops'][i]:.2e}",
+            f"{table['quantum_ops'][i]:.2e}",
+            f"{table['classical_regs'][i]:.2e}",
+            f"{table['quantum_regs'][i]:.0f}",
+        ]
+        for i, n in enumerate(table["qubits"])
+        if n % 8 == 0 or n in (2, 40)
+    ]
+    print()
+    print(format_table(
+        ["qubits", "classical#Ops", "quantum#Ops",
+         "classical#Regs", "quantum#Regs"],
+        rows, title="Fig. 2a: theoretical complexity",
+    ))
+
+    classical_ops = table["classical_ops"]
+    quantum_ops = table["quantum_ops"]
+    # Exponential vs near-linear growth rates.
+    classical_growth = classical_ops[-1] / classical_ops[-2]
+    quantum_growth = quantum_ops[-1] / quantum_ops[-2]
+    assert classical_growth > 3.5       # x4 per 2 qubits
+    assert quantum_growth < 1.2
+    # Classical ops reach the paper's ~1e11+ magnitude by 40 qubits.
+    assert classical_ops[-1] > 1e13
+    # Classical registers explode, quantum registers stay = n.
+    assert table["classical_regs"][-1] > 1e12
+    assert table["quantum_regs"][-1] == 40
+    # There is a crossover, after which quantum stays cheaper for good.
+    cross = crossover_qubits(table["qubits"], classical_ops, quantum_ops)
+    assert cross is not None and cross <= 30
+    assert advantage_factor(
+        table["qubits"], classical_ops, quantum_ops, 40
+    ) > 1e4
+    print(f"\n#Ops crossover at {cross} qubits")

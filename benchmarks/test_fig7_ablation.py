@@ -1,0 +1,78 @@
+"""Fig. 7: ablation of the three pruning hyper-parameters on MNIST-2.
+
+Paper findings:
+  * pruning ratio r=0.5 is a sweet spot; r -> 1 collapses training;
+  * small accumulation windows (w_a = 1-2) work best;
+  * overly large pruning windows degrade accuracy (stale magnitudes).
+
+The bench sweeps each knob with the others at the paper defaults and
+checks the collapse at extreme r plus overall stability elsewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import format_table, run_qc_train
+from repro.pruning import PruningHyperparams
+
+RATIOS = [0.1, 0.3, 0.5, 0.7, 0.9]
+WINDOWS = [1, 2, 3, 4]
+
+
+def run_fig7():
+    ratio_acc = {}
+    for ratio in RATIOS:
+        engine = run_qc_train(
+            "mnist2", pruning=PruningHyperparams(1, 2, ratio)
+        )
+        ratio_acc[ratio] = engine.history.final_accuracy
+
+    wa_acc = {}
+    for window in WINDOWS:
+        engine = run_qc_train(
+            "mnist2", pruning=PruningHyperparams(window, 2, 0.5)
+        )
+        wa_acc[window] = engine.history.final_accuracy
+
+    wp_acc = {}
+    for window in WINDOWS:
+        engine = run_qc_train(
+            "mnist2", pruning=PruningHyperparams(1, window, 0.5)
+        )
+        wp_acc[window] = engine.history.final_accuracy
+
+    return ratio_acc, wa_acc, wp_acc
+
+
+def test_fig7_pruning_hyperparameter_ablation(benchmark):
+    ratio_acc, wa_acc, wp_acc = benchmark.pedantic(
+        run_fig7, rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["pruning ratio r", "accuracy"],
+        [[r, a] for r, a in ratio_acc.items()],
+        title="Fig. 7 (left): pruning ratio sweep (mnist2)",
+    ))
+    print(format_table(
+        ["accum window w_a", "accuracy"],
+        [[w, a] for w, a in wa_acc.items()],
+        title="Fig. 7 (mid): accumulation window sweep",
+    ))
+    print(format_table(
+        ["prune window w_p", "accuracy"],
+        [[w, a] for w, a in wp_acc.items()],
+        title="Fig. 7 (right): pruning window sweep",
+    ))
+
+    # Moderate ratios stay strong...
+    moderate = [ratio_acc[r] for r in (0.3, 0.5)]
+    assert np.mean(moderate) > 0.7
+    # ...and r=0.9 does not beat the best moderate setting (Fig. 7's
+    # collapse at overly large ratios).
+    assert ratio_acc[0.9] <= max(moderate) + 0.02
+    # Window sweeps stay above chance throughout at this scale.
+    assert min(wa_acc.values()) > 0.5
+    assert min(wp_acc.values()) > 0.5

@@ -1,0 +1,69 @@
+"""Fig. 8: runtime and memory of classical simulation vs quantum execution.
+
+The classical runtime curve is *measured* on our statevector simulator at
+small qubit counts (as the paper measured on a 2080 Ti up to 22-24) and
+extrapolated with the fitted exponential; the quantum curve comes from the
+calibrated device-timing model.  The paper's claim: "clear quantum
+advantages on circuits with more than 27 qubits".
+"""
+
+from __future__ import annotations
+
+from harness import format_table
+from repro.scaling import (
+    crossover_qubits,
+    fit_classical_runtime,
+    runtime_table,
+)
+
+
+def run_fig8():
+    fit = fit_classical_runtime(
+        measure_qubits=[8, 10, 12, 14], n_circuits=2
+    )
+    return fit, runtime_table(list(range(4, 41, 2)), fit=fit)
+
+
+def test_fig8_runtime_and_memory_scaling(benchmark):
+    fit, table = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+
+    rows = [
+        [
+            int(n),
+            f"{table['classical_runtime_s'][i]:.3g}",
+            f"{table['quantum_runtime_s'][i]:.3g}",
+            f"{table['classical_memory_gb'][i]:.3g}",
+            f"{table['quantum_memory_gb'][i]:.3g}",
+        ]
+        for i, n in enumerate(table["qubits"])
+        if n % 4 == 0
+    ]
+    print()
+    print(format_table(
+        ["qubits", "classical_s", "quantum_s",
+         "classical_GB", "quantum_GB"],
+        rows, title="Fig. 8: runtime / memory scaling",
+    ))
+    print(f"classical fit: t(n) = {fit.coeff:.3g} * 2^n + {fit.floor:.3g} "
+          f"(measured at {fit.measured_qubits})")
+
+    runtime_cross = crossover_qubits(
+        table["qubits"], table["classical_runtime_s"],
+        table["quantum_runtime_s"],
+    )
+    print(f"runtime crossover: {runtime_cross} qubits (paper: ~27)")
+    assert runtime_cross is not None
+    assert 18 <= runtime_cross <= 34
+
+    memory_cross = crossover_qubits(
+        table["qubits"], table["classical_memory_gb"],
+        table["quantum_memory_gb"],
+    )
+    print(f"memory crossover: {memory_cross} qubits")
+    assert memory_cross is not None
+    # Paper: thousands of GB for classical sim at 40 qubits.
+    assert table["classical_memory_gb"][-1] > 1000
+    assert table["quantum_memory_gb"][-1] < 1
+    # Quantum runtime stays within a small factor across the sweep.
+    quantum = table["quantum_runtime_s"]
+    assert quantum[-1] / quantum[0] < 5

@@ -1,0 +1,82 @@
+"""Table 2: probabilistic vs deterministic gradient pruning.
+
+The paper reports deterministic (top-k) pruning losing 1-7% accuracy to
+probabilistic sampling on all four image tasks, because top-k maximizes
+sampling bias and freezes low-magnitude parameters forever.
+
+At bench scale the accuracy gap is checked on average with a slack
+(single seeds + short runs are noisy); the *mechanism* is checked
+strictly: deterministic pruning leaves a strictly larger fraction of
+parameters never-updated during pruning steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import TASK_PRUNING, format_table, run_qc_train, steps_for
+
+TASKS = ["mnist4", "mnist2", "fashion4", "fashion2"]
+
+PAPER = {
+    "mnist4": (0.61, 0.62),
+    "mnist2": (0.82, 0.85),
+    "fashion4": (0.72, 0.79),
+    "fashion2": (0.89, 0.90),
+}
+
+
+def run_table2():
+    results = {}
+    coverage = {}
+    for task in TASKS:
+        eval_every = max(2, steps_for(task) // 3)
+        deterministic = run_qc_train(
+            task, pruning=TASK_PRUNING[task], sampler="deterministic",
+            eval_every=eval_every,
+        )
+        probabilistic = run_qc_train(
+            task, pruning=TASK_PRUNING[task], sampler="probabilistic",
+            eval_every=eval_every,
+        )
+        results[task] = (
+            deterministic.history.best_accuracy,
+            probabilistic.history.best_accuracy,
+        )
+        coverage[task] = (
+            deterministic.pruner.never_selected_fraction(),
+            probabilistic.pruner.never_selected_fraction(),
+        )
+    return results, coverage
+
+
+def test_table2_probabilistic_beats_deterministic(benchmark):
+    results, coverage = benchmark.pedantic(
+        run_table2, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            task, det, prob,
+            f"{coverage[task][0]:.2f}", f"{coverage[task][1]:.2f}",
+            f"{PAPER[task][0]:.2f}/{PAPER[task][1]:.2f}",
+        ]
+        for task, (det, prob) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["task", "det acc", "prob acc", "det starved", "prob starved",
+         "paper(D/P)"],
+        rows, title="Table 2 (reduced scale, best-of-run accuracy)",
+    ))
+
+    gaps = np.array([prob - det for det, prob in results.values()])
+    # Accuracy: probabilistic is not worse on average (paper: 1-7% better
+    # at full scale).
+    assert gaps.mean() > -0.05
+    # Mechanism: deterministic pruning starves at least as many
+    # parameters on every task, and strictly more overall.
+    det_starved = np.array([coverage[t][0] for t in TASKS])
+    prob_starved = np.array([coverage[t][1] for t in TASKS])
+    assert np.all(det_starved >= prob_starved - 1e-9)
+    assert det_starved.sum() > prob_starved.sum()

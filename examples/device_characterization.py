@@ -1,0 +1,64 @@
+"""Characterize the emulated devices the way a lab would a real one.
+
+Sec. 2 of the paper: noisy systems "need to be characterized and
+calibrated frequently".  This example runs the two standard protocols on
+every emulated backend, using only backend-visible information (counts):
+
+  * readout calibration (basis-state preparations -> confusion matrices),
+  * single-qubit randomized benchmarking (-> error per Clifford),
+
+and compares the measurements against each device's calibration table —
+then shows readout-error mitigation recovering a biased expectation.
+
+Usage:  python examples/device_characterization.py
+"""
+
+import numpy as np
+
+from repro import NoisyBackend, get_calibration
+from repro.circuits import QuantumCircuit
+from repro.mitigation import (
+    calibrate_readout,
+    mitigated_expectations,
+    run_rb,
+)
+
+DEVICES = [
+    "ibmq_santiago", "ibmq_manila", "ibmq_jakarta",
+    "ibmq_lima", "ibmq_casablanca",
+]
+
+
+def main() -> None:
+    print(f"{'device':<16} {'RB err/Clifford':>16} {'sq err (calib)':>15} "
+          f"{'readout err (meas)':>19} {'(calib)':>8}")
+    for device in DEVICES:
+        backend = NoisyBackend.from_device_name(device, seed=0)
+        truth = get_calibration(device)
+
+        rb = run_rb(backend, lengths=(1, 16, 48), n_sequences=6,
+                    shots=2048, seed=0)
+        readout = calibrate_readout(backend, 4, shots=8192)
+        measured_readout = readout.mean_assignment_error()
+        calib_readout = 0.5 * (truth.readout_p01 + truth.readout_p10)
+        print(f"{device:<16} {rb.error_per_clifford:>16.5f} "
+              f"{truth.sq_gate_error:>15.1e} "
+              f"{measured_readout:>19.4f} {calib_readout:>8.4f}")
+
+    print("\nreadout mitigation demo (ibmq_lima, all qubits in |0>):")
+    backend = NoisyBackend.from_device_name("ibmq_lima", seed=1)
+    calibration = calibrate_readout(backend, 4, shots=16384)
+    circuit = QuantumCircuit(4)
+    circuit.add("i", 0)
+    result = backend.run([circuit], shots=16384)[0]
+    raw = result.expectations
+    corrected = mitigated_expectations(result.counts, calibration)
+    ideal = np.ones(4)
+    print(f"  raw <Z>       : {np.round(raw, 4)}  "
+          f"(bias {np.linalg.norm(raw - ideal):.4f})")
+    print(f"  mitigated <Z> : {np.round(corrected, 4)}  "
+          f"(bias {np.linalg.norm(corrected - ideal):.4f})")
+
+
+if __name__ == "__main__":
+    main()

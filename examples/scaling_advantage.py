@@ -1,0 +1,56 @@
+"""Quantum scaling advantage: measure, fit, extrapolate (Fig. 2a / Fig. 8).
+
+Times our own statevector simulator on the paper's benchmark workload
+(16 rotation + 32 RZZ gates, 50 circuits), fits the exponential runtime
+law, and compares against the calibrated quantum device-timing model to
+locate the crossover qubit count.
+
+Usage:  python examples/scaling_advantage.py
+"""
+
+from repro.scaling import (
+    advantage_factor,
+    complexity_table,
+    crossover_qubits,
+    fit_classical_runtime,
+    runtime_table,
+)
+
+
+def main() -> None:
+    print("measuring classical statevector runtime at 8-14 qubits...")
+    fit = fit_classical_runtime(measure_qubits=[8, 10, 12, 14],
+                                n_circuits=2)
+    print(f"fit: t(n) = {fit.coeff:.3g} * 2^n + {fit.floor:.3g} s\n")
+
+    table = runtime_table(list(range(4, 41, 2)), fit=fit)
+    print(f"{'qubits':>6} {'classical(s)':>14} {'quantum(s)':>12} "
+          f"{'classical(GB)':>14} {'quantum(GB)':>12}")
+    for i, n in enumerate(table["qubits"]):
+        if n % 4:
+            continue
+        print(f"{int(n):>6} {table['classical_runtime_s'][i]:>14.3g} "
+              f"{table['quantum_runtime_s'][i]:>12.3g} "
+              f"{table['classical_memory_gb'][i]:>14.3g} "
+              f"{table['quantum_memory_gb'][i]:>12.3g}")
+
+    runtime_cross = crossover_qubits(
+        table["qubits"], table["classical_runtime_s"],
+        table["quantum_runtime_s"],
+    )
+    print(f"\nruntime crossover : {runtime_cross} qubits "
+          f"(paper observes clear advantage past ~27)")
+    print(f"advantage at 40 qubits: "
+          f"{advantage_factor(table['qubits'], table['classical_runtime_s'], table['quantum_runtime_s'], 40):.1e}x")
+
+    ops = complexity_table(list(range(2, 41, 2)))
+    ops_cross = crossover_qubits(
+        ops["qubits"], ops["classical_ops"], ops["quantum_ops"]
+    )
+    print(f"theoretical #Ops crossover: {ops_cross} qubits")
+    print(f"classical #Regs at 40 qubits: {ops['classical_regs'][-1]:.2e} "
+          f"vs quantum: {ops['quantum_regs'][-1]:.0f}")
+
+
+if __name__ == "__main__":
+    main()

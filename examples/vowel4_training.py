@@ -1,0 +1,73 @@
+"""Vowel-4 recognition: the paper's non-image benchmark, end to end.
+
+Shows the vowel-specific pipeline pieces:
+  * formant-model feature generation (the Hillenbrand-style substitute),
+  * standardize -> PCA to the 10 most significant dimensions -> angles,
+  * the 4RY+4RZ+2RX encoder with the 2x(RZZ+RXX) ansatz on ibmq_lima,
+  * comparison of noise-free vs on-chip training.
+
+Usage:  python examples/vowel4_training.py
+"""
+
+import numpy as np
+
+from repro import (
+    IdealBackend,
+    PruningHyperparams,
+    QuantumProvider,
+    TrainingConfig,
+    TrainingEngine,
+)
+from repro.data import make_vowel_raw, standardize, vowel_features_to_angles
+from repro.ml import PCA
+
+
+def main() -> None:
+    # --- inspect the data pipeline ------------------------------------
+    raw, labels = make_vowel_raw(140, seed=3)
+    print(f"raw vowel features: {raw.shape} "
+          f"(duration, F0, F1-F3 steady/onset/offset, energy)")
+    standardized, _, _ = standardize(raw)
+    pca = PCA(10).fit(standardized)
+    print("PCA explained variance ratios:",
+          np.round(pca.explained_variance_ratio_, 3))
+
+    train_angles, val_angles, _ = vowel_features_to_angles(
+        raw[:100], raw[100:]
+    )
+    print(f"encoded angles: train {train_angles.shape}, "
+          f"val {val_angles.shape}, range "
+          f"[{train_angles.min():.2f}, {train_angles.max():.2f}]\n")
+
+    # --- noise-free reference --------------------------------------------
+    config = TrainingConfig(
+        task="vowel4", steps=40, batch_size=12,
+        gradient_engine="adjoint", eval_every=10, eval_size=60, seed=3,
+    )
+    classical = TrainingEngine(config, IdealBackend(exact=True, seed=3))
+    print("--- Classical-Train (noise-free simulation) ---")
+    classical.train(verbose=True)
+
+    # --- on-chip with pruning ---------------------------------------------
+    provider = QuantumProvider(seed=3)
+    lima = provider.get_backend("ibmq_lima")
+    on_chip = TrainingEngine(
+        config.with_(
+            gradient_engine="parameter_shift",
+            steps=18, batch_size=6,
+            pruning=PruningHyperparams(1, 2, 0.5),
+        ),
+        lima,
+    )
+    print("\n--- QC-Train-PGP on ibmq_lima ---")
+    on_chip.train(verbose=True)
+
+    print(f"\nnoise-free accuracy : {classical.history.final_accuracy:.3f}")
+    print(f"on-chip PGP accuracy: {on_chip.history.final_accuracy:.3f} "
+          f"({on_chip.training_inferences()} circuits, "
+          f"{on_chip.pruner.empirical_savings:.0%} gradients skipped)")
+    print("(4-class chance level is 0.25; the paper reports 0.31-0.37)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""VQE on the transverse-field Ising model with gradient pruning.
+
+The paper notes (Sec. 1) that parameter shift + PGP "can also be applied
+to other PQCs such as Variational Quantum Eigensolver".  This example
+does exactly that:
+
+  * build the 4-site periodic TFIM at its critical point (J = h = 1),
+  * solve it exactly by diagonalization for reference,
+  * run VQE with a hardware-efficient RY-RZ-CZ ansatz, noise-free and on
+    the emulated ibmq_santiago device, with and without PGP,
+  * compare energies and circuit budgets.
+
+Usage:  python examples/vqe_ising.py
+"""
+
+from repro import IdealBackend, NoisyBackend, PruningHyperparams
+from repro.vqe import (
+    VqeEngine,
+    circuits_per_energy,
+    hardware_efficient_ansatz,
+    transverse_field_ising,
+)
+
+
+def main() -> None:
+    model = transverse_field_ising(4, coupling=1.0, field=1.0)
+    exact = model.ground_state_energy()
+    print(f"{model}")
+    print(f"exact ground-state energy: {exact:+.4f}")
+    print(f"measurement-basis groups per energy evaluation: "
+          f"{circuits_per_energy(model)}\n")
+
+    ansatz = hardware_efficient_ansatz(4, n_layers=2, seed=0)
+    print(f"ansatz: {ansatz.summary()}\n")
+
+    print("--- noise-free VQE (parameter shift) ---")
+    ideal = VqeEngine(
+        model, ansatz, IdealBackend(exact=True),
+        steps=35, lr_max=0.2, lr_min=0.02,
+    )
+    ideal.run()
+    print(f"best energy {ideal.best_energy:+.4f} "
+          f"(relative error {ideal.relative_error():.1%})\n")
+
+    print("--- on-chip VQE on ibmq_santiago, no pruning ---")
+    plain_backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+    plain = VqeEngine(
+        model, ansatz, plain_backend,
+        steps=12, shots=1024, lr_max=0.2, lr_min=0.02,
+    )
+    plain.run()
+    print(f"best energy {plain.best_energy:+.4f} "
+          f"(relative error {plain.relative_error():.1%}, "
+          f"{plain_backend.meter.circuits} circuits)\n")
+
+    print("--- on-chip VQE with PGP (w_a=1, w_p=2, r=0.5) ---")
+    pgp_backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+    pgp = VqeEngine(
+        model, ansatz, pgp_backend,
+        steps=12, shots=1024, lr_max=0.2, lr_min=0.02,
+        pruning=PruningHyperparams(1, 2, 0.5), seed=0,
+    )
+    pgp.run()
+    print(f"best energy {pgp.best_energy:+.4f} "
+          f"(relative error {pgp.relative_error():.1%}, "
+          f"{pgp_backend.meter.circuits} circuits, "
+          f"{pgp.pruner.empirical_savings:.0%} gradient evals skipped)")
+
+
+if __name__ == "__main__":
+    main()

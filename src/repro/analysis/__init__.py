@@ -1,0 +1,28 @@
+"""Noise analyses behind Fig. 2b (accuracy gap) and Fig. 2c (gradient error)."""
+
+from repro.analysis.gradient_error import (
+    GradientErrorStudy,
+    collect_gradient_pairs,
+    gradient_error_study,
+    small_vs_large_error_ratio,
+)
+from repro.analysis.noise_gap import NoiseGapResult, noise_gap_study
+from repro.analysis.variance import (
+    VarianceStudy,
+    shots_needed_for_relative_error,
+    variance_vs_depth,
+    variance_vs_qubits,
+)
+
+__all__ = [
+    "GradientErrorStudy",
+    "NoiseGapResult",
+    "VarianceStudy",
+    "collect_gradient_pairs",
+    "gradient_error_study",
+    "noise_gap_study",
+    "shots_needed_for_relative_error",
+    "small_vs_large_error_ratio",
+    "variance_vs_depth",
+    "variance_vs_qubits",
+]

@@ -1,0 +1,136 @@
+"""Gradient-fidelity analysis (Fig. 2c).
+
+The empirical law the whole pruning method rests on: gradients of small
+magnitude have large *relative* error on noisy hardware.  This module
+measures it directly — exact gradients from adjoint differentiation vs
+noisy parameter-shift gradients from a device backend — and bins mean
+relative error by true gradient magnitude.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.ansatz import get_architecture
+from repro.gradients.adjoint_engine import adjoint_engine_jacobian
+from repro.gradients.parameter_shift import parameter_shift_jacobian
+
+
+@dataclasses.dataclass(frozen=True)
+class GradientErrorStudy:
+    """Paired (true, noisy) gradient samples and their binned statistics.
+
+    Attributes:
+        magnitudes: |true gradient| per sample.
+        relative_errors: |noisy - true| / |true| per sample.
+        bin_edges: Magnitude bin boundaries.
+        bin_centers: Geometric bin centers (for log-x plotting).
+        mean_relative_error: Mean relative error per bin (NaN for empty
+            bins).
+        counts: Samples per bin.
+    """
+
+    magnitudes: np.ndarray
+    relative_errors: np.ndarray
+    bin_edges: np.ndarray
+    bin_centers: np.ndarray
+    mean_relative_error: np.ndarray
+    counts: np.ndarray
+
+
+def collect_gradient_pairs(
+    task: str,
+    backend,
+    n_samples: int = 8,
+    shots: int = 1024,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample (true, noisy) per-parameter loss-free gradient pairs.
+
+    For ``n_samples`` random (input, theta) draws, computes the exact
+    expectation Jacobian and the backend's parameter-shift Jacobian, and
+    flattens both — every Jacobian entry is one gradient sample.
+
+    Returns:
+        ``(true, noisy)`` flat arrays of equal length.
+    """
+    architecture = get_architecture(task)
+    rng = np.random.default_rng(seed)
+    true_parts = []
+    noisy_parts = []
+    for _ in range(n_samples):
+        x = rng.uniform(0.0, np.pi, size=architecture.n_features)
+        theta = rng.uniform(-np.pi, np.pi, architecture.num_parameters)
+        circuit = architecture.full_circuit(x, theta)
+        true_parts.append(adjoint_engine_jacobian(circuit).ravel())
+        noisy_parts.append(
+            parameter_shift_jacobian(circuit, backend, shots=shots).ravel()
+        )
+    return np.concatenate(true_parts), np.concatenate(noisy_parts)
+
+
+def gradient_error_study(
+    task: str,
+    backend,
+    n_samples: int = 8,
+    shots: int = 1024,
+    seed: int = 0,
+    n_bins: int = 10,
+    magnitude_floor: float = 1e-4,
+) -> GradientErrorStudy:
+    """Bin mean relative gradient error by true gradient magnitude.
+
+    Bins are logarithmic between ``magnitude_floor`` and the largest
+    observed magnitude, matching Fig. 2c's log-log axes.
+    """
+    if n_bins < 2:
+        raise ValueError("need at least two bins")
+    true, noisy = collect_gradient_pairs(
+        task, backend, n_samples=n_samples, shots=shots, seed=seed
+    )
+    magnitudes = np.abs(true)
+    keep = magnitudes > magnitude_floor
+    magnitudes = magnitudes[keep]
+    relative = np.abs(noisy[keep] - true[keep]) / magnitudes
+    if magnitudes.size == 0:
+        raise ValueError("no gradients above the magnitude floor")
+
+    edges = np.geomspace(magnitude_floor, magnitudes.max() * 1.0001, n_bins + 1)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    mean_err = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    indices = np.clip(
+        np.digitize(magnitudes, edges) - 1, 0, n_bins - 1
+    )
+    for bin_index in range(n_bins):
+        in_bin = indices == bin_index
+        counts[bin_index] = int(in_bin.sum())
+        if counts[bin_index]:
+            mean_err[bin_index] = float(relative[in_bin].mean())
+    return GradientErrorStudy(
+        magnitudes=magnitudes,
+        relative_errors=relative,
+        bin_edges=edges,
+        bin_centers=centers,
+        mean_relative_error=mean_err,
+        counts=counts,
+    )
+
+
+def small_vs_large_error_ratio(study: GradientErrorStudy) -> float:
+    """Ratio of mean relative error: smallest-magnitude vs largest bins.
+
+    Fig. 2c's qualitative claim is that this ratio is >> 1 (small
+    gradients are far less reliable).  Uses the lowest and highest
+    non-empty bins.
+    """
+    filled = np.nonzero(study.counts > 0)[0]
+    if filled.size < 2:
+        raise ValueError("need at least two non-empty bins")
+    low = study.mean_relative_error[filled[0]]
+    high = study.mean_relative_error[filled[-1]]
+    if high <= 0:
+        raise ValueError("largest-magnitude bin has zero error")
+    return float(low / high)

@@ -1,0 +1,62 @@
+"""Circuit IR: operations, circuits, layers, encoders, ansatze, transpiler."""
+
+from repro.circuits.amplitude import (
+    encode_amplitude,
+    encode_amplitude16,
+    multiplexed_ry,
+)
+from repro.circuits.ansatz import (
+    ARCHITECTURES,
+    QnnArchitecture,
+    get_architecture,
+)
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.drawer import draw
+from repro.circuits.encoders import (
+    ENCODERS,
+    encode_image16,
+    encode_vowel10,
+    get_encoder,
+)
+from repro.circuits.layers import (
+    LAYER_BUILDERS,
+    build_layered_ansatz,
+    chain_pairs,
+    ring_pairs,
+)
+from repro.circuits.operation import BoundOp, OpTemplate
+from repro.circuits.transpile import (
+    BASIS_GATES,
+    CX_COST,
+    TranspileResult,
+    decompose_to_basis,
+    route,
+    transpile,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "BASIS_GATES",
+    "BoundOp",
+    "CX_COST",
+    "ENCODERS",
+    "LAYER_BUILDERS",
+    "OpTemplate",
+    "QnnArchitecture",
+    "QuantumCircuit",
+    "TranspileResult",
+    "build_layered_ansatz",
+    "chain_pairs",
+    "draw",
+    "encode_amplitude",
+    "encode_amplitude16",
+    "decompose_to_basis",
+    "encode_image16",
+    "encode_vowel10",
+    "get_architecture",
+    "get_encoder",
+    "multiplexed_ry",
+    "ring_pairs",
+    "route",
+    "transpile",
+]

@@ -1,0 +1,129 @@
+"""Per-task QNN model definitions (Sec. 4.1).
+
+Each benchmark task fixes (a) an encoder, (b) a trainable ansatz built from
+the paper's layer vocabulary, and (c) the number of classes:
+
+* MNIST-2 / Fashion-2:  1 RZZ layer + 1 RY layer              (8 params)
+* MNIST-4:              3 x (RX + RY + RZ + CZ) layers        (36 params)
+* Fashion-4:            3 x (RZZ + RY) layers                 (24 params)
+* Vowel-4:              2 x (RZZ + RXX) layers                (16 params)
+
+``QnnArchitecture`` bundles all of it and builds the full (encoder compose
+ansatz) circuit for a given input example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits import encoders as _encoders
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.layers import build_layered_ansatz
+
+
+@dataclasses.dataclass(frozen=True)
+class QnnArchitecture:
+    """A complete QNN model family for one benchmark task.
+
+    Attributes:
+        name: Task name, e.g. ``"mnist2"``.
+        n_qubits: Logical qubit count (4 for all paper tasks).
+        encoder_name: Key into :data:`repro.circuits.encoders.ENCODERS`.
+        layer_names: Ordered layer types of the trainable ansatz.
+        n_classes: Number of output classes (2 or 4).
+    """
+
+    name: str
+    n_qubits: int
+    encoder_name: str
+    layer_names: tuple[str, ...]
+    n_classes: int
+
+    def build_ansatz(self) -> QuantumCircuit:
+        """Fresh trainable ansatz (parameters initialized to zero)."""
+        return build_layered_ansatz(self.n_qubits, list(self.layer_names))
+
+    @property
+    def num_parameters(self) -> int:
+        """Trainable parameter count of the ansatz."""
+        return self.build_ansatz().num_parameters
+
+    @property
+    def n_features(self) -> int:
+        """Input feature count the encoder expects."""
+        return _encoders.get_encoder(self.encoder_name)[1]
+
+    def encode(self, x: Sequence[float]) -> QuantumCircuit:
+        """Encoder circuit for one input example."""
+        builder, _ = _encoders.get_encoder(self.encoder_name)
+        return builder(x, self.n_qubits)
+
+    def full_circuit(
+        self, x: Sequence[float], theta: Sequence[float] | np.ndarray
+    ) -> QuantumCircuit:
+        """Encoder + ansatz circuit, ansatz bound to ``theta``."""
+        ansatz = self.build_ansatz().bind(theta)
+        return self.encode(x).compose(ansatz)
+
+    def init_parameters(
+        self, rng: np.random.Generator, scale: float = 0.1
+    ) -> np.ndarray:
+        """Small random initial angles (uniform in ``[-scale, scale]``)."""
+        n = self.num_parameters
+        return rng.uniform(-scale, scale, size=n)
+
+
+def _repeat(block: Sequence[str], times: int) -> tuple[str, ...]:
+    return tuple(list(block) * times)
+
+
+ARCHITECTURES: dict[str, QnnArchitecture] = {
+    "mnist2": QnnArchitecture(
+        name="mnist2",
+        n_qubits=4,
+        encoder_name="image16",
+        layer_names=("rzz", "ry"),
+        n_classes=2,
+    ),
+    "fashion2": QnnArchitecture(
+        name="fashion2",
+        n_qubits=4,
+        encoder_name="image16",
+        layer_names=("rzz", "ry"),
+        n_classes=2,
+    ),
+    "mnist4": QnnArchitecture(
+        name="mnist4",
+        n_qubits=4,
+        encoder_name="image16",
+        layer_names=_repeat(("rx", "ry", "rz", "cz"), 3),
+        n_classes=4,
+    ),
+    "fashion4": QnnArchitecture(
+        name="fashion4",
+        n_qubits=4,
+        encoder_name="image16",
+        layer_names=_repeat(("rzz", "ry"), 3),
+        n_classes=4,
+    ),
+    "vowel4": QnnArchitecture(
+        name="vowel4",
+        n_qubits=4,
+        encoder_name="vowel10",
+        layer_names=_repeat(("rzz", "rxx"), 2),
+        n_classes=4,
+    ),
+}
+
+
+def get_architecture(name: str) -> QnnArchitecture:
+    """Look up a benchmark architecture by task name."""
+    key = name.lower().replace("-", "").replace("_", "")
+    if key not in ARCHITECTURES:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        )
+    return ARCHITECTURES[key]

@@ -1,0 +1,100 @@
+"""ASCII circuit drawing for logs, examples, and docs.
+
+Renders a :class:`~repro.circuits.circuit.QuantumCircuit` as one text row
+per wire with gates placed in left-to-right time order, e.g.::
+
+    q0: -RY(1.571)--*--------------
+    q1: -RY(0.785)--RZZ(t0)--------
+    q2: ------------*--------RX(t1)
+
+Trainable gates show their parameter reference (``t<i>`` plus any shift
+offset); fixed gates show their literal angle.  Two-qubit gates mark the
+first wire with the gate label and the partner wire with ``*``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.operation import OpTemplate
+
+
+def _gate_label(template: OpTemplate) -> str:
+    name = template.name.upper()
+    if template.param_index is not None:
+        label = f"t{template.param_index}"
+        if template.offset:
+            label += f"{template.offset:+.2f}"
+        return f"{name}({label})"
+    if template.params:
+        inner = ",".join(f"{p:.3f}" for p in template.params)
+        return f"{name}({inner})"
+    return name
+
+
+def draw(circuit: QuantumCircuit, max_width: int = 100) -> str:
+    """Render the circuit as ASCII art.
+
+    Args:
+        circuit: The circuit to draw.
+        max_width: Wrap point: when a row would exceed this many columns
+            the drawing continues on a new block of rows.
+
+    Returns:
+        Multi-line string.
+    """
+    n_qubits = circuit.n_qubits
+    # Build columns: each gate occupies one column on its wires; gates on
+    # disjoint wires share a column when possible (greedy packing).
+    columns: list[list[OpTemplate | None]] = []
+    frontier = [0] * n_qubits  # first free column per wire
+    for template in circuit.templates:
+        lo = min(template.wires)
+        hi = max(template.wires)
+        column_index = max(frontier[w] for w in range(lo, hi + 1))
+        while len(columns) <= column_index:
+            columns.append([None] * n_qubits)
+        columns[column_index][template.wires[0]] = template
+        for wire in template.wires[1:]:
+            # Partner marker encoded as a sentinel template reference.
+            columns[column_index][wire] = template
+        for wire in range(lo, hi + 1):
+            frontier[wire] = column_index + 1
+
+    # Render each column with a fixed width.
+    rendered: list[list[str]] = []
+    for column in columns:
+        cells = []
+        seen: set[int] = set()
+        for wire in range(n_qubits):
+            template = column[wire]
+            if template is None:
+                cells.append("")
+            elif wire == template.wires[0]:
+                cells.append(_gate_label(template))
+                seen.add(id(template))
+            else:
+                cells.append("*")
+        width = max(len(c) for c in cells)
+        rendered.append([c.ljust(width, "-") if c else "-" * width
+                        for c in cells])
+
+    # Assemble rows, wrapping at max_width.
+    blocks: list[list[str]] = []
+    current = [f"q{w}: " for w in range(n_qubits)]
+    for column_cells in rendered:
+        addition = ["-" + column_cells[w] + "-" for w in range(n_qubits)]
+        if len(current[0]) + len(addition[0]) > max_width and len(
+            current[0]
+        ) > len("q0: "):
+            blocks.append(current)
+            current = [f"q{w}: " for w in range(n_qubits)]
+        for wire in range(n_qubits):
+            current[wire] += addition[wire]
+    blocks.append(current)
+
+    lines: list[str] = []
+    for block_index, block in enumerate(blocks):
+        if block_index:
+            lines.append("")
+        lines.extend(block)
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Classical-data encoders (Sec. 4.1, "Benchmarks").
+
+Input features become rotation-gate angles on the 4 logical qubits:
+
+* **image encoder** (16 features, down-sampled 4x4 images): a column of
+  4 RY, then 4 RZ, then 4 RX, then 4 RY gates — one feature per gate, in
+  flattened order.
+* **vowel encoder** (10 PCA features): 4 RY, 4 RZ, then 2 RX gates (on
+  wires 0 and 1).
+
+Encoders produce circuits with *fixed* (non-trainable) parameters, to be
+composed in front of a trainable ansatz.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def _as_features(x: Sequence[float], expected: int, label: str) -> np.ndarray:
+    arr = np.asarray(x, dtype=np.float64).reshape(-1)
+    if arr.size != expected:
+        raise ValueError(
+            f"{label} encoder expects {expected} features, got {arr.size}"
+        )
+    return arr
+
+
+def encode_image16(x: Sequence[float], n_qubits: int = 4) -> QuantumCircuit:
+    """Rotation encoder for 16 image pixels onto 4 qubits.
+
+    Gate columns RY, RZ, RX, RY; pixel ``4*c + q`` drives column ``c``'s
+    gate on wire ``q``.
+    """
+    if n_qubits != 4:
+        raise ValueError("the paper's image encoder is defined on 4 qubits")
+    features = _as_features(x, 16, "image16")
+    circuit = QuantumCircuit(n_qubits)
+    for column, gate in enumerate(["ry", "rz", "rx", "ry"]):
+        for wire in range(n_qubits):
+            circuit.add(gate, wire, float(features[4 * column + wire]))
+    return circuit
+
+
+def encode_vowel10(x: Sequence[float], n_qubits: int = 4) -> QuantumCircuit:
+    """Rotation encoder for 10 vowel PCA features onto 4 qubits.
+
+    Gate columns 4 RY, 4 RZ, 2 RX (RX only on wires 0 and 1).
+    """
+    if n_qubits != 4:
+        raise ValueError("the paper's vowel encoder is defined on 4 qubits")
+    features = _as_features(x, 10, "vowel10")
+    circuit = QuantumCircuit(n_qubits)
+    for wire in range(4):
+        circuit.add("ry", wire, float(features[wire]))
+    for wire in range(4):
+        circuit.add("rz", wire, float(features[4 + wire]))
+    for wire in range(2):
+        circuit.add("rx", wire, float(features[8 + wire]))
+    return circuit
+
+
+#: Encoder-name -> (builder, n_features).
+ENCODERS = {
+    "image16": (encode_image16, 16),
+    "vowel10": (encode_vowel10, 10),
+}
+
+
+def get_encoder(name: str):
+    """Look up an encoder builder and its expected feature count."""
+    key = name.lower()
+    if key not in ENCODERS:
+        raise KeyError(f"unknown encoder {name!r}; known: {sorted(ENCODERS)}")
+    return ENCODERS[key]

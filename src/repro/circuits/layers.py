@@ -1,0 +1,131 @@
+"""The seven circuit layer types of the paper (Sec. 4.1).
+
+(i)   RX layer:  one RX gate per wire.
+(ii)  RY layer:  one RY gate per wire.
+(iii) RZ layer:  one RZ gate per wire.
+(iv)  RZZ layer: RZZ gates on all logically adjacent wire pairs plus the
+      farthest pair, forming a ring — on 4 qubits: (0,1), (1,2), (2,3), (3,0).
+(v)   RXX layer: same ring structure with RXX gates.
+(vi)  RZX layer: same ring structure with RZX gates.
+(vii) CZ layer:  CZ gates on all logically adjacent wire pairs (a chain,
+      no closing link, and no parameters).
+
+Each ``add_*_layer`` helper appends the layer's trainable gates to a
+circuit, allocating fresh parameter indices starting at ``start_index``,
+and returns the next free index.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+def ring_pairs(n_qubits: int) -> list[tuple[int, int]]:
+    """Wire pairs of a ring-entangling layer.
+
+    Adjacent pairs ``(k, k+1)`` plus the closing pair ``(n-1, 0)``; for two
+    qubits the ring degenerates to the single pair ``(0, 1)``.
+    """
+    if n_qubits < 2:
+        raise ValueError("entangling layers need at least 2 qubits")
+    if n_qubits == 2:
+        return [(0, 1)]
+    return [(k, k + 1) for k in range(n_qubits - 1)] + [(n_qubits - 1, 0)]
+
+
+def chain_pairs(n_qubits: int) -> list[tuple[int, int]]:
+    """Adjacent wire pairs ``(k, k+1)`` without the closing link."""
+    if n_qubits < 2:
+        raise ValueError("entangling layers need at least 2 qubits")
+    return [(k, k + 1) for k in range(n_qubits - 1)]
+
+
+def _add_single_qubit_rotation_layer(
+    circuit: QuantumCircuit, gate: str, start_index: int
+) -> int:
+    index = start_index
+    for wire in range(circuit.n_qubits):
+        circuit.add_trainable(gate, wire, index)
+        index += 1
+    return index
+
+
+def add_rx_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (i): trainable RX on every wire."""
+    return _add_single_qubit_rotation_layer(circuit, "rx", start_index)
+
+
+def add_ry_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (ii): trainable RY on every wire."""
+    return _add_single_qubit_rotation_layer(circuit, "ry", start_index)
+
+
+def add_rz_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (iii): trainable RZ on every wire."""
+    return _add_single_qubit_rotation_layer(circuit, "rz", start_index)
+
+
+def _add_ring_rotation_layer(
+    circuit: QuantumCircuit, gate: str, start_index: int
+) -> int:
+    index = start_index
+    for pair in ring_pairs(circuit.n_qubits):
+        circuit.add_trainable(gate, pair, index)
+        index += 1
+    return index
+
+
+def add_rzz_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (iv): trainable RZZ on the wire ring."""
+    return _add_ring_rotation_layer(circuit, "rzz", start_index)
+
+
+def add_rxx_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (v): trainable RXX on the wire ring."""
+    return _add_ring_rotation_layer(circuit, "rxx", start_index)
+
+
+def add_rzx_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (vi): trainable RZX on the wire ring."""
+    return _add_ring_rotation_layer(circuit, "rzx", start_index)
+
+
+def add_cz_layer(circuit: QuantumCircuit, start_index: int) -> int:
+    """Layer (vii): fixed CZ on adjacent wire pairs (no parameters)."""
+    for pair in chain_pairs(circuit.n_qubits):
+        circuit.add(str("cz"), pair)
+    return start_index
+
+
+#: Layer-name -> builder, used by :func:`build_layered_ansatz`.
+LAYER_BUILDERS = {
+    "rx": add_rx_layer,
+    "ry": add_ry_layer,
+    "rz": add_rz_layer,
+    "rzz": add_rzz_layer,
+    "rxx": add_rxx_layer,
+    "rzx": add_rzx_layer,
+    "cz": add_cz_layer,
+}
+
+
+def build_layered_ansatz(
+    n_qubits: int, layer_names: list[str]
+) -> QuantumCircuit:
+    """Build an ansatz from an ordered list of layer-type names.
+
+    Example:
+        ``build_layered_ansatz(4, ["rzz", "ry"])`` is the MNIST-2 /
+        Fashion-2 ansatz of the paper (1 RZZ layer followed by 1 RY layer,
+        8 trainable parameters).
+    """
+    circuit = QuantumCircuit(n_qubits)
+    index = 0
+    for name in layer_names:
+        key = name.lower()
+        if key not in LAYER_BUILDERS:
+            raise ValueError(
+                f"unknown layer type {name!r}; known: {sorted(LAYER_BUILDERS)}"
+            )
+        index = LAYER_BUILDERS[key](circuit, index)
+    return circuit

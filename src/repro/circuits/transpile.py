@@ -1,0 +1,272 @@
+"""Transpilation: basis-gate decomposition and coupling-map routing.
+
+The paper submits circuits through the qiskit compiler to IBM devices
+(Sec. 4.1, "Quantum devices and compiler configurations").  This module
+reproduces the two passes that matter for noise behaviour:
+
+* **decomposition** of the logical gate vocabulary (RZZ/RXX/RZX/CZ/SWAP/H/X)
+  into the native-ish basis ``{cx, rx, ry, rz}``, preserving trainable
+  parameter linkage — a trainable RZZ becomes ``cx, rz(theta), cx`` where
+  the ``rz`` still references the same parameter index; and
+* **routing** onto a device coupling map with SWAP insertion along
+  shortest paths, tracking the logical-to-physical layout permutation.
+
+Physical gate counts drive both the noise model (more CX on sparsely
+connected devices ⇒ more error) and the runtime model of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.operation import OpTemplate
+
+#: Gate names the decomposition pass emits.
+BASIS_GATES = frozenset({"cx", "rx", "ry", "rz"})
+
+
+def _h_templates(wire: int) -> list[OpTemplate]:
+    # H = RY(pi/2) @ RZ(pi) up to a global phase.
+    return [
+        OpTemplate("rz", (wire,), (np.pi,)),
+        OpTemplate("ry", (wire,), (np.pi / 2,)),
+    ]
+
+
+def _rz_like(template: OpTemplate, wire: int) -> OpTemplate:
+    """An RZ on ``wire`` carrying ``template``'s parameter (ref or literal)."""
+    if template.param_index is not None:
+        return OpTemplate(
+            "rz",
+            (wire,),
+            param_index=template.param_index,
+            offset=template.offset,
+        )
+    return OpTemplate("rz", (wire,), (template.params[0],))
+
+
+def decompose_template(template: OpTemplate) -> list[OpTemplate]:
+    """Rewrite one operation into basis gates (identity if already basis)."""
+    name = template.name
+    if name in BASIS_GATES:
+        return [template]
+    wires = template.wires
+    if name == "h":
+        return _h_templates(wires[0])
+    if name == "x":
+        return [OpTemplate("rx", wires, (np.pi,))]
+    if name == "y":
+        return [OpTemplate("ry", wires, (np.pi,))]
+    if name == "z":
+        return [OpTemplate("rz", wires, (np.pi,))]
+    if name == "cz":
+        a, b = wires
+        return (
+            _h_templates(b)
+            + [OpTemplate("cx", (a, b))]
+            + _h_templates(b)
+        )
+    if name == "swap":
+        a, b = wires
+        return [
+            OpTemplate("cx", (a, b)),
+            OpTemplate("cx", (b, a)),
+            OpTemplate("cx", (a, b)),
+        ]
+    if name == "rzz":
+        a, b = wires
+        return [
+            OpTemplate("cx", (a, b)),
+            _rz_like(template, b),
+            OpTemplate("cx", (a, b)),
+        ]
+    if name == "rxx":
+        a, b = wires
+        return (
+            _h_templates(a)
+            + _h_templates(b)
+            + [OpTemplate("cx", (a, b)), _rz_like(template, b),
+               OpTemplate("cx", (a, b))]
+            + _h_templates(a)
+            + _h_templates(b)
+        )
+    if name == "rzx":
+        a, b = wires
+        return (
+            _h_templates(b)
+            + [OpTemplate("cx", (a, b)), _rz_like(template, b),
+               OpTemplate("cx", (a, b))]
+            + _h_templates(b)
+        )
+    raise ValueError(f"no decomposition rule for gate {name!r}")
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a whole circuit into the ``{cx, rx, ry, rz}`` basis."""
+    out = QuantumCircuit(circuit.n_qubits, circuit.num_parameters)
+    for template in circuit.templates:
+        for rewritten in decompose_template(template):
+            out.append_template(rewritten)
+    out.bind(circuit.parameters)
+    return out
+
+
+#: Two-qubit-equivalent CX cost of each logical gate after decomposition,
+#: used by noise models that stay at the logical level.
+CX_COST = {
+    "cx": 1,
+    "cz": 1,
+    "swap": 3,
+    "rzz": 2,
+    "rxx": 2,
+    "ryy": 2,
+    "rzx": 2,
+    "crx": 2,
+    "cry": 2,
+    "crz": 2,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TranspileResult:
+    """Output of the routing pass.
+
+    Attributes:
+        circuit: Physical circuit on ``device_qubits`` wires.
+        initial_layout: ``initial_layout[logical] = physical`` at circuit
+            start.
+        final_layout: Same mapping after all routing SWAPs; the backend
+            must read logical qubit ``k``'s measurement from physical
+            wire ``final_layout[k]``.
+        n_swaps: Number of SWAPs inserted.
+    """
+
+    circuit: QuantumCircuit
+    initial_layout: tuple[int, ...]
+    final_layout: tuple[int, ...]
+    n_swaps: int
+
+
+def _shortest_path(
+    edges: set[tuple[int, int]], n_nodes: int, src: int, dst: int
+) -> list[int]:
+    """BFS shortest path on an undirected coupling graph."""
+    adjacency: dict[int, list[int]] = {node: [] for node in range(n_nodes)}
+    for a, b in edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    previous = {src: src}
+    frontier = [src]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor not in previous:
+                    previous[neighbor] = node
+                    nxt.append(neighbor)
+        if dst in previous:
+            break
+        frontier = nxt
+    if dst not in previous:
+        raise ValueError(
+            f"coupling map is disconnected: no path {src} -> {dst}"
+        )
+    path = [dst]
+    while path[-1] != src:
+        path.append(previous[path[-1]])
+    return list(reversed(path))
+
+
+def route(
+    circuit: QuantumCircuit,
+    coupling_map: Sequence[tuple[int, int]],
+    device_qubits: int,
+    initial_layout: Sequence[int] | None = None,
+) -> TranspileResult:
+    """Map a logical circuit onto a device coupling graph.
+
+    Two-qubit gates on non-adjacent physical qubits are preceded by SWAP
+    chains that walk one operand along a shortest path.  The layout
+    permutation is tracked rather than undone (no mirror swaps), which is
+    what production compilers do; the caller consumes ``final_layout``.
+    """
+    if circuit.n_qubits > device_qubits:
+        raise ValueError(
+            f"circuit needs {circuit.n_qubits} qubits, device has "
+            f"{device_qubits}"
+        )
+    edges = {tuple(sorted((int(a), int(b)))) for a, b in coupling_map}
+    if initial_layout is None:
+        mapping = list(range(circuit.n_qubits))
+    else:
+        mapping = [int(p) for p in initial_layout]
+        if len(mapping) != circuit.n_qubits:
+            raise ValueError("initial_layout length must equal circuit width")
+        if len(set(mapping)) != len(mapping):
+            raise ValueError("initial_layout must be a partial permutation")
+    # physical_owner[p] = logical qubit currently at physical p, or None.
+    physical_owner: list[int | None] = [None] * device_qubits
+    for logical, physical in enumerate(mapping):
+        physical_owner[physical] = logical
+
+    out = QuantumCircuit(device_qubits, circuit.num_parameters)
+    n_swaps = 0
+
+    def emit_swap(p: int, q: int) -> None:
+        """Insert a SWAP and update both layout maps."""
+        nonlocal n_swaps
+        out.append_template(OpTemplate("swap", (p, q)))
+        n_swaps += 1
+        owner_p, owner_q = physical_owner[p], physical_owner[q]
+        physical_owner[p], physical_owner[q] = owner_q, owner_p
+        if owner_p is not None:
+            mapping[owner_p] = q
+        if owner_q is not None:
+            mapping[owner_q] = p
+
+    for template in circuit.templates:
+        physical_wires = tuple(mapping[w] for w in template.wires)
+        if len(physical_wires) == 2:
+            a, b = physical_wires
+            if tuple(sorted((a, b))) not in edges:
+                path = _shortest_path(edges, device_qubits, a, b)
+                # Walk `a`'s occupant down the path until adjacent to b.
+                for step in range(len(path) - 2):
+                    emit_swap(path[step], path[step + 1])
+                physical_wires = tuple(mapping[w] for w in template.wires)
+        out.append_template(
+            dataclasses.replace(template, wires=physical_wires)
+        )
+    out.bind(circuit.parameters)
+    final_layout = tuple(mapping)
+    init = tuple(
+        initial_layout if initial_layout is not None
+        else range(circuit.n_qubits)
+    )
+    return TranspileResult(
+        circuit=out,
+        initial_layout=init,
+        final_layout=final_layout,
+        n_swaps=n_swaps,
+    )
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    coupling_map: Sequence[tuple[int, int]],
+    device_qubits: int,
+    initial_layout: Sequence[int] | None = None,
+) -> TranspileResult:
+    """Full pipeline: route onto the device, then decompose to basis gates."""
+    routed = route(circuit, coupling_map, device_qubits, initial_layout)
+    physical = decompose_to_basis(routed.circuit)
+    return TranspileResult(
+        circuit=physical,
+        initial_layout=routed.initial_layout,
+        final_layout=routed.final_layout,
+        n_swaps=routed.n_swaps,
+    )

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``train``         run Classical-Train / QC-Train / QC-Train-PGP on a task
+``characterize``  readout calibration + randomized benchmarking of a device
+``scaling``       the Fig. 8 runtime/memory comparison
+``draw``          print a task's circuit as ASCII art
+
+Examples
+--------
+::
+
+    python -m repro train --task mnist2 --device ibmq_santiago \
+        --steps 15 --pgp --ratio 0.5 --save run.json
+    python -m repro characterize --device ibmq_lima
+    python -m repro scaling --max-qubits 40
+    python -m repro draw --task vowel4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QOC: quantum on-chip training with parameter shift "
+                    "and gradient pruning (DAC 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a QNN benchmark task")
+    train.add_argument("--task", default="mnist2",
+                       choices=["mnist2", "mnist4", "fashion2",
+                                "fashion4", "vowel4"])
+    train.add_argument("--device", default="ibmq_santiago",
+                       help="backend name (device, 'ideal', or "
+                            "'ideal_sampled')")
+    train.add_argument("--engine", default="parameter_shift",
+                       choices=["parameter_shift", "adjoint",
+                                "finite_difference", "spsa"])
+    train.add_argument("--steps", type=int, default=15)
+    train.add_argument("--batch-size", type=int, default=6)
+    train.add_argument("--shots", type=int, default=1024)
+    train.add_argument("--optimizer", default="adam",
+                       choices=["adam", "momentum", "sgd"])
+    train.add_argument("--pgp", action="store_true",
+                       help="enable probabilistic gradient pruning")
+    train.add_argument("--ratio", type=float, default=0.5,
+                       help="pruning ratio r")
+    train.add_argument("--wa", type=int, default=1,
+                       help="accumulation window width")
+    train.add_argument("--wp", type=int, default=2,
+                       help="pruning window width")
+    train.add_argument("--sampler", default="probabilistic",
+                       choices=["probabilistic", "deterministic"])
+    train.add_argument("--eval-every", type=int, default=5)
+    train.add_argument("--eval-size", type=int, default=60)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", metavar="PATH",
+                       help="write the run (config/theta/history) as JSON")
+    train.add_argument("--quiet", action="store_true")
+
+    characterize = sub.add_parser(
+        "characterize", help="readout calibration + RB on a device"
+    )
+    characterize.add_argument("--device", default="ibmq_santiago")
+    characterize.add_argument("--shots", type=int, default=4096)
+    characterize.add_argument("--seed", type=int, default=0)
+
+    scaling = sub.add_parser(
+        "scaling", help="classical-vs-quantum runtime/memory comparison"
+    )
+    scaling.add_argument("--max-qubits", type=int, default=40)
+
+    draw = sub.add_parser("draw", help="print a task circuit")
+    draw.add_argument("--task", default="mnist2",
+                      choices=["mnist2", "mnist4", "fashion2",
+                               "fashion4", "vowel4"])
+    draw.add_argument("--width", type=int, default=100)
+    return parser
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.hardware import QuantumProvider
+    from repro.interop import save_run
+    from repro.pruning import PruningHyperparams
+    from repro.training import TrainingConfig, TrainingEngine
+
+    pruning = (
+        PruningHyperparams(args.wa, args.wp, args.ratio)
+        if args.pgp else None
+    )
+    config = TrainingConfig(
+        task=args.task,
+        steps=args.steps,
+        batch_size=args.batch_size,
+        shots=args.shots,
+        gradient_engine=args.engine,
+        pruning=pruning,
+        pruning_sampler=args.sampler,
+        optimizer=args.optimizer,
+        eval_every=args.eval_every,
+        eval_size=args.eval_size,
+        seed=args.seed,
+    )
+    backend = QuantumProvider(seed=args.seed).get_backend(args.device)
+    engine = TrainingEngine(config, backend)
+    if not args.quiet:
+        mode = "QC-Train-PGP" if args.pgp else (
+            "Classical-Train" if args.engine == "adjoint" else "QC-Train"
+        )
+        print(f"{mode}: task={args.task} backend={backend.name} "
+              f"params={engine.architecture.num_parameters}")
+    history = engine.train(verbose=not args.quiet)
+    print(f"final accuracy {history.final_accuracy:.3f}  "
+          f"best {history.best_accuracy:.3f}  "
+          f"training circuits {engine.training_inferences()}")
+    if args.pgp:
+        print(f"gradient evaluations skipped: "
+              f"{engine.pruner.empirical_savings:.1%}")
+    if args.save:
+        save_run(
+            args.save, config, engine.theta, history,
+            metadata={"backend": backend.name},
+        )
+        print(f"run saved to {args.save}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.hardware import NoisyBackend
+    from repro.mitigation import calibrate_readout, run_rb
+    from repro.noise import get_calibration
+
+    backend = NoisyBackend.from_device_name(args.device, seed=args.seed)
+    truth = get_calibration(args.device)
+    print(f"characterizing {backend.name} "
+          f"({truth.n_qubits} qubits)...")
+    rb = run_rb(backend, lengths=(1, 16, 48), n_sequences=6,
+                shots=args.shots, seed=args.seed)
+    print(f"RB error per Clifford : {rb.error_per_clifford:.5f} "
+          f"(calibration sq error {truth.sq_gate_error:.1e})")
+    readout = calibrate_readout(backend, 4, shots=args.shots)
+    print(f"readout assignment err: "
+          f"{readout.mean_assignment_error():.4f} "
+          f"(calibration "
+          f"{(truth.readout_p01 + truth.readout_p10) / 2:.4f})")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.scaling import (
+        crossover_qubits,
+        fit_classical_runtime,
+        runtime_table,
+    )
+
+    fit = fit_classical_runtime(measure_qubits=[8, 10, 12, 14],
+                                n_circuits=2)
+    qubits = list(range(4, args.max_qubits + 1, 2))
+    table = runtime_table(qubits, fit=fit)
+    print(f"{'qubits':>6} {'classical(s)':>13} {'quantum(s)':>11}")
+    for index, n in enumerate(table["qubits"]):
+        print(f"{int(n):>6} {table['classical_runtime_s'][index]:>13.3g} "
+              f"{table['quantum_runtime_s'][index]:>11.3g}")
+    cross = crossover_qubits(
+        table["qubits"], table["classical_runtime_s"],
+        table["quantum_runtime_s"],
+    )
+    print(f"crossover: {cross} qubits")
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    from repro.circuits import draw, get_architecture
+
+    architecture = get_architecture(args.task)
+    rng = np.random.default_rng(0)
+    circuit = architecture.full_circuit(
+        rng.uniform(0, np.pi, architecture.n_features),
+        np.zeros(architecture.num_parameters),
+    )
+    print(circuit.summary())
+    print(draw(circuit, max_width=args.width))
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "characterize": _cmd_characterize,
+    "scaling": _cmd_scaling,
+    "draw": _cmd_draw,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Datasets: synthetic generators, preprocessing, tasks, batch sampling."""
+
+from repro.data.dataset import BatchSampler, Dataset
+from repro.data.preprocess import (
+    avg_pool,
+    center_crop,
+    images_to_features,
+    standardize,
+    vowel_features_to_angles,
+)
+from repro.data.splits import TASKS, TaskSpec, get_task_spec, load_task
+from repro.data.synthetic import (
+    VOWEL_CLASSES,
+    make_fashion_like,
+    make_mnist_like,
+    make_vowel_raw,
+)
+
+__all__ = [
+    "BatchSampler",
+    "Dataset",
+    "TASKS",
+    "TaskSpec",
+    "VOWEL_CLASSES",
+    "avg_pool",
+    "center_crop",
+    "get_task_spec",
+    "images_to_features",
+    "load_task",
+    "make_fashion_like",
+    "make_mnist_like",
+    "make_vowel_raw",
+    "standardize",
+    "vowel_features_to_angles",
+]

@@ -1,0 +1,96 @@
+"""Dataset container and mini-batch sampling."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Dataset:
+    """Feature rows plus integer labels.
+
+    Attributes:
+        features: ``(n, d)`` encoded feature rows (rotation angles).
+        labels: ``(n,)`` integer class labels in ``[0, n_classes)``.
+        n_classes: Number of distinct classes.
+        name: Human-readable tag (e.g. ``"mnist2/train"``).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    n_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if features.shape[0] != labels.shape[0]:
+            raise ValueError("feature/label count mismatch")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise ValueError("labels out of range")
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return int(self.labels.size)
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality."""
+        return int(self.features.shape[1])
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "Dataset":
+        """New dataset restricted to the given row indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            n_classes=self.n_classes,
+            name=name or self.name,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Samples per class, length ``n_classes``."""
+        return np.bincount(self.labels, minlength=self.n_classes)
+
+
+class BatchSampler:
+    """Draws random mini-batches with replacement across epochs.
+
+    Matches Alg. 1's ``Sample a mini-batch I ~ D_trn``: each call draws
+    ``batch_size`` uniformly random training examples.
+    """
+
+    def __init__(
+        self, dataset: Dataset, batch_size: int, seed: int | None = None
+    ):
+        if batch_size < 1:
+            raise ValueError("batch size must be positive")
+        if batch_size > len(dataset):
+            raise ValueError(
+                f"batch size {batch_size} exceeds dataset size "
+                f"{len(dataset)}"
+            )
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray]:
+        """One mini-batch: ``(features, labels)``."""
+        indices = self._rng.choice(
+            len(self.dataset), size=self.batch_size, replace=False
+        )
+        return (
+            self.dataset.features[indices],
+            self.dataset.labels[indices],
+        )
+
+    def epochs(self, n_batches: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``n_batches`` successive mini-batches."""
+        for _ in range(n_batches):
+            yield self.sample()

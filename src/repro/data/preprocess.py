@@ -1,0 +1,126 @@
+"""Preprocessing pipeline of Sec. 4.1.
+
+Images: 28x28 -> center-crop 24x24 -> average-pool down-sample to 4x4 ->
+flatten to 16 features -> scale to rotation angles.  Vowels: standardize,
+PCA to the 10 most significant dimensions, scale to angles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.pca import PCA
+
+
+def center_crop(images: np.ndarray, size: int) -> np.ndarray:
+    """Crop the central ``size x size`` window of each image.
+
+    Args:
+        images: ``(n, h, w)`` or single ``(h, w)`` image.
+        size: Output side length (must not exceed either dimension).
+    """
+    images = np.asarray(images, dtype=np.float64)
+    single = images.ndim == 2
+    if single:
+        images = images[None]
+    _, height, width = images.shape
+    if size > height or size > width:
+        raise ValueError(f"crop size {size} exceeds image {height}x{width}")
+    top = (height - size) // 2
+    left = (width - size) // 2
+    out = images[:, top:top + size, left:left + size]
+    return out[0] if single else out
+
+
+def avg_pool(images: np.ndarray, out_size: int) -> np.ndarray:
+    """Average-pool square images down to ``out_size x out_size``.
+
+    The input side must be an integer multiple of ``out_size`` (24 -> 4
+    uses 6x6 pooling windows, as in the paper's pipeline).
+    """
+    images = np.asarray(images, dtype=np.float64)
+    single = images.ndim == 2
+    if single:
+        images = images[None]
+    n_images, height, width = images.shape
+    if height != width:
+        raise ValueError("avg_pool expects square images")
+    if height % out_size != 0:
+        raise ValueError(
+            f"image side {height} is not a multiple of {out_size}"
+        )
+    kernel = height // out_size
+    pooled = images.reshape(
+        n_images, out_size, kernel, out_size, kernel
+    ).mean(axis=(2, 4))
+    return pooled[0] if single else pooled
+
+
+def images_to_features(
+    images: np.ndarray,
+    crop: int = 24,
+    pooled: int = 4,
+    angle_scale: float = np.pi,
+) -> np.ndarray:
+    """Full image pipeline: crop, pool, flatten, scale to angles.
+
+    Pixel intensities in [0, 1] become rotation angles in
+    ``[0, angle_scale]`` — the paper "puts the 16 classical input values
+    to the phases of 16 rotation gates".
+
+    Returns:
+        ``(n, pooled*pooled)`` feature rows (or a single row).
+    """
+    cropped = center_crop(images, crop)
+    small = avg_pool(cropped, pooled)
+    single = small.ndim == 2
+    if single:
+        small = small[None]
+    flat = small.reshape(small.shape[0], -1) * angle_scale
+    return flat[0] if single else flat
+
+
+def standardize(
+    features: np.ndarray,
+    mean: np.ndarray | None = None,
+    std: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score features; returns ``(standardized, mean, std)``.
+
+    Pass the training set's ``mean``/``std`` when transforming validation
+    data so no statistics leak across the split.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if mean is None:
+        mean = features.mean(axis=0)
+    if std is None:
+        std = features.std(axis=0)
+    std = np.where(std < 1e-12, 1.0, std)
+    return (features - mean) / std, mean, std
+
+
+def vowel_features_to_angles(
+    train_raw: np.ndarray,
+    val_raw: np.ndarray,
+    n_components: int = 10,
+    angle_scale: float = np.pi / 2.0,
+) -> tuple[np.ndarray, np.ndarray, PCA]:
+    """Vowel pipeline: standardize, PCA to 10 dims, squash to angles.
+
+    PCA and standardization statistics are fit on the training rows only.
+    The projected coordinates are passed through ``tanh`` before angle
+    scaling so outliers cannot wrap around the rotation period.
+
+    Returns:
+        ``(train_angles, val_angles, fitted_pca)``.
+    """
+    train_std, mean, std = standardize(train_raw)
+    val_std, _, _ = standardize(val_raw, mean, std)
+    pca = PCA(n_components).fit(train_std)
+    train_proj = pca.transform(train_std)
+    val_proj = pca.transform(val_std)
+    scale = np.abs(train_proj).max(axis=0)
+    scale = np.where(scale < 1e-12, 1.0, scale)
+    train_angles = np.tanh(train_proj / scale) * angle_scale
+    val_angles = np.tanh(val_proj / scale) * angle_scale
+    return train_angles, val_angles, pca

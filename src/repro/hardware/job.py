@@ -1,0 +1,119 @@
+"""Job lifecycle emulation: created -> validated -> queued -> running -> done.
+
+Sec. 3.2 of the paper describes each shifted circuit being "created,
+validated, queued, and finally run on real quantum machines".  ``Job``
+reproduces that lifecycle (including simulated queue/execution wall time
+from the runtime model) so examples and the Fig. 8 reproduction can reason
+about end-to-end latency, while unit tests can assert the state machine's
+invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Sequence
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle states of a submitted job."""
+
+    CREATED = "created"
+    VALIDATED = "validated"
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    ERROR = "error"
+
+_ORDER = [
+    JobStatus.CREATED,
+    JobStatus.VALIDATED,
+    JobStatus.QUEUED,
+    JobStatus.RUNNING,
+    JobStatus.DONE,
+]
+
+_job_ids = itertools.count(1)
+
+
+class JobError(RuntimeError):
+    """Raised when a job fails validation or is consumed out of order."""
+
+
+class Job:
+    """A batch of circuits submitted to a backend.
+
+    Jobs are produced by :meth:`QuantumProvider.submit` /
+    :func:`submit_job`; calling :meth:`result` drives the remaining
+    lifecycle transitions and executes on the backend.
+    """
+
+    def __init__(self, backend, circuits: Sequence, shots: int,
+                 purpose: str = "job"):
+        self.job_id = f"job-{next(_job_ids):06d}"
+        self.backend = backend
+        self.circuits = list(circuits)
+        self.shots = int(shots)
+        self.purpose = purpose
+        self.status = JobStatus.CREATED
+        self.error_message: str | None = None
+        self.queue_seconds = 0.0
+        self.run_seconds = 0.0
+        self._results = None
+
+    def _advance(self, to: JobStatus) -> None:
+        if self.status is JobStatus.ERROR:
+            raise JobError(f"{self.job_id} already failed: "
+                           f"{self.error_message}")
+        if _ORDER.index(to) != _ORDER.index(self.status) + 1:
+            raise JobError(
+                f"illegal transition {self.status.value} -> {to.value}"
+            )
+        self.status = to
+
+    def validate(self) -> "Job":
+        """Structural validation of all circuits (may raise JobError)."""
+        try:
+            for circuit in self.circuits:
+                circuit.validate()
+        except ValueError as exc:
+            self.status = JobStatus.ERROR
+            self.error_message = str(exc)
+            raise JobError(str(exc)) from exc
+        self._advance(JobStatus.VALIDATED)
+        return self
+
+    def enqueue(self, queue_seconds: float = 0.0) -> "Job":
+        """Enter the (simulated) device queue."""
+        if queue_seconds < 0:
+            raise ValueError("queue time cannot be negative")
+        self._advance(JobStatus.QUEUED)
+        self.queue_seconds = float(queue_seconds)
+        return self
+
+    def result(self):
+        """Run the job (idempotent) and return the execution results."""
+        if self.status is JobStatus.DONE:
+            return self._results
+        if self.status is JobStatus.CREATED:
+            self.validate()
+        if self.status is JobStatus.VALIDATED:
+            self.enqueue()
+        self._advance(JobStatus.RUNNING)
+        self._results = self.backend.run(
+            self.circuits, shots=self.shots, purpose=self.purpose
+        )
+        self._advance(JobStatus.DONE)
+        return self._results
+
+    def __repr__(self) -> str:
+        return (
+            f"Job({self.job_id}, {len(self.circuits)} circuits, "
+            f"{self.status.value})"
+        )
+
+
+def submit_job(backend, circuits: Sequence, shots: int = 1024,
+               purpose: str = "job") -> Job:
+    """Create (but do not yet run) a job on a backend."""
+    return Job(backend, circuits, shots, purpose=purpose)

@@ -1,0 +1,84 @@
+"""Provider: the qiskit-API stand-in that hands out backends by name.
+
+``QuantumProvider`` mirrors the small slice of the IBMQ provider interface
+the paper's TrainingEngine needs: list devices, get a backend by name,
+submit jobs.  Backends are cached per (name, options) so meters accumulate
+across an experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.hardware.backend import Backend, IdealBackend
+from repro.hardware.job import Job, submit_job
+from repro.hardware.noisy_backend import NoisyBackend
+from repro.noise.calibration import CALIBRATIONS, get_calibration
+
+
+class QuantumProvider:
+    """Factory and registry of execution backends.
+
+    Args:
+        seed: Base seed; backend ``k`` created by this provider is seeded
+            ``seed + k`` so experiments are reproducible yet backends are
+            statistically independent.
+    """
+
+    def __init__(self, seed: int | None = None):
+        self._seed = seed
+        self._created = 0
+        self._cache: dict[tuple, Backend] = {}
+
+    def _next_seed(self) -> int | None:
+        if self._seed is None:
+            return None
+        seed = self._seed + self._created
+        return seed
+
+    def backends(self) -> list[str]:
+        """Names of all available devices plus the ideal simulators."""
+        return sorted(CALIBRATIONS) + ["ideal", "ideal_sampled"]
+
+    def get_backend(
+        self,
+        name: str,
+        transpile: bool = False,
+        noise_scale: float = 1.0,
+    ) -> Backend:
+        """Return (and cache) a backend by name.
+
+        ``"ideal"`` gives exact noise-free evaluation, ``"ideal_sampled"``
+        noise-free with shot sampling; any calibrated device name gives a
+        :class:`NoisyBackend`.
+        """
+        key = (name.lower(), transpile, noise_scale)
+        if key in self._cache:
+            return self._cache[key]
+        seed = self._next_seed()
+        self._created += 1
+        lowered = name.lower()
+        if lowered == "ideal":
+            backend: Backend = IdealBackend(exact=True, seed=seed)
+        elif lowered == "ideal_sampled":
+            backend = IdealBackend(exact=False, seed=seed)
+        else:
+            backend = NoisyBackend(
+                get_calibration(name),
+                seed=seed,
+                transpile=transpile,
+                noise_scale=noise_scale,
+            )
+        self._cache[key] = backend
+        return backend
+
+    def submit(
+        self,
+        backend_name: str,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "job",
+    ) -> Job:
+        """Create a job on the named backend (run it with ``job.result()``)."""
+        backend = self.get_backend(backend_name)
+        return submit_job(backend, circuits, shots=shots, purpose=purpose)

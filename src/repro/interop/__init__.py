@@ -1,0 +1,20 @@
+"""Interop: OpenQASM 2.0 and JSON run serialization."""
+
+from repro.interop.qasm import from_qasm, to_qasm
+from repro.interop.serialization import (
+    config_from_dict,
+    config_to_dict,
+    history_from_dict,
+    load_run,
+    save_run,
+)
+
+__all__ = [
+    "config_from_dict",
+    "config_to_dict",
+    "from_qasm",
+    "history_from_dict",
+    "load_run",
+    "save_run",
+    "to_qasm",
+]

@@ -1,0 +1,139 @@
+"""OpenQASM 2.0 export / import.
+
+Real QOC submits circuits to IBM hardware, where the wire format is
+OpenQASM; a reproduction library needs the same interop so its circuits
+can be inspected by (or sourced from) other toolchains.  Export covers
+every gate in the registry; import covers the subset QASM names map onto
+(including the ``qelib1.inc`` spellings ``rzz``/``rxx``/``cz``/... that
+our circuits use).
+
+Trainable parameters are *bound* at export (QASM has no symbolic
+parameters); a sidecar comment records each trainable gate's parameter
+index so a bound export can be re-imported and re-linked.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.operation import OpTemplate
+
+#: repro gate name -> OpenQASM spelling (identical unless listed).
+_TO_QASM = {
+    "i": "id",
+    "phase": "u1",
+}
+_FROM_QASM = {qasm: name for name, qasm in _TO_QASM.items()}
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a (bound) circuit to OpenQASM 2.0 text.
+
+    Trainable gates carry a trailing ``// param <index>`` comment so
+    :func:`from_qasm` can restore their parameter linkage.
+    """
+    lines = [_HEADER + f"qreg q[{circuit.n_qubits}];"]
+    for template, op in zip(circuit.templates, circuit.operations):
+        qasm_name = _TO_QASM.get(op.name, op.name)
+        if op.params:
+            args = ",".join(repr(float(p)) for p in op.params)
+            call = f"{qasm_name}({args})"
+        else:
+            call = qasm_name
+        wires = ",".join(f"q[{w}]" for w in op.wires)
+        line = f"{call} {wires};"
+        if template.param_index is not None:
+            line += f" // param {template.param_index}"
+            if template.offset:
+                line += f" offset {template.offset!r}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)"
+    r"(?:\((?P<args>[^)]*)\))?"
+    r"\s+(?P<wires>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;"
+    r"(?:\s*//\s*param\s+(?P<param>\d+)"
+    r"(?:\s+offset\s+(?P<offset>[-+0-9.e]+))?)?\s*$"
+)
+_WIRE_RE = re.compile(r"q\[(\d+)\]")
+
+
+def _eval_angle(text: str) -> float:
+    """Evaluate a QASM angle expression (numbers, pi, + - * /)."""
+    cleaned = text.strip().replace("pi", repr(np.pi))
+    if not re.fullmatch(r"[-+*/(). 0-9e]+", cleaned):
+        raise ValueError(f"unsupported angle expression {text!r}")
+    return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or a
+    compatible subset: one gate per line, single ``qreg``).
+
+    Gates tagged with ``// param <i>`` are restored as trainable
+    operations bound to the exported angle value.
+    """
+    circuit: QuantumCircuit | None = None
+    pending_bindings: dict[int, float] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if (
+            not line
+            or line.startswith(("OPENQASM", "include", "//"))
+            or line.startswith(("creg", "measure", "barrier"))
+        ):
+            continue
+        if line.startswith("qreg"):
+            match = re.match(r"qreg\s+q\[(\d+)\]\s*;", line)
+            if not match:
+                raise ValueError(f"unsupported qreg declaration: {line!r}")
+            circuit = QuantumCircuit(int(match.group(1)))
+            continue
+        if circuit is None:
+            raise ValueError("gate before qreg declaration")
+        match = _GATE_RE.match(line)
+        if not match:
+            raise ValueError(f"cannot parse QASM line: {raw_line!r}")
+        qasm_name = match.group("name")
+        name = _FROM_QASM.get(qasm_name, qasm_name)
+        wires = tuple(
+            int(w) for w in _WIRE_RE.findall(match.group("wires"))
+        )
+        args = match.group("args")
+        params = (
+            tuple(_eval_angle(a) for a in args.split(",")) if args else ()
+        )
+        param_tag = match.group("param")
+        if param_tag is not None:
+            index = int(param_tag)
+            offset = float(match.group("offset") or 0.0)
+            if len(params) != 1:
+                raise ValueError(
+                    "trainable tag requires a single-angle gate"
+                )
+            circuit.append_template(
+                OpTemplate(
+                    name=name, wires=wires,
+                    param_index=index, offset=offset,
+                )
+            )
+            pending_bindings[index] = params[0] - offset
+        else:
+            circuit.append_template(
+                OpTemplate(name=name, wires=wires, params=params)
+            )
+    if circuit is None:
+        raise ValueError("no qreg declaration found")
+    if pending_bindings:
+        theta = np.zeros(circuit.num_parameters)
+        for index, value in pending_bindings.items():
+            theta[index] = value
+        circuit.bind(theta)
+    return circuit

@@ -1,0 +1,99 @@
+"""JSON serialization of runs: configs, histories, trained parameters.
+
+On-chip training runs are expensive (queue time dominates on real
+devices), so persisting and reloading them is a first-class need.  The
+format is plain JSON — stable, diffable, and framework-free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.pruning.schedule import PruningHyperparams
+from repro.training.config import TrainingConfig
+from repro.training.history import EvalRecord, StepRecord, TrainingHistory
+
+FORMAT_VERSION = 1
+
+
+def config_to_dict(config: TrainingConfig) -> dict[str, Any]:
+    """JSON-friendly dict of a TrainingConfig (pruning expanded)."""
+    out = dataclasses.asdict(config)
+    if config.pruning is not None:
+        out["pruning"] = dataclasses.asdict(config.pruning)
+    return out
+
+
+def config_from_dict(data: dict[str, Any]) -> TrainingConfig:
+    """Inverse of :func:`config_to_dict`."""
+    data = dict(data)
+    pruning = data.get("pruning")
+    if pruning is not None:
+        data["pruning"] = PruningHyperparams(**pruning)
+    return TrainingConfig(**data)
+
+
+def history_from_dict(data: dict[str, Any]) -> TrainingHistory:
+    """Rebuild a TrainingHistory from ``TrainingHistory.to_dict()``."""
+    history = TrainingHistory()
+    for record in data.get("steps", []):
+        history.record_step(StepRecord(**record))
+    for record in data.get("evals", []):
+        history.record_eval(EvalRecord(**record))
+    return history
+
+
+def save_run(
+    path: str | Path,
+    config: TrainingConfig,
+    theta: np.ndarray,
+    history: TrainingHistory,
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Persist a completed training run to a JSON file.
+
+    Args:
+        path: Output file path.
+        config: The run's configuration.
+        theta: Final trained parameter vector.
+        history: The run's training history.
+        metadata: Optional extra JSON-compatible fields (device name,
+            wall-clock, notes, ...).
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "config": config_to_dict(config),
+        "theta": np.asarray(theta, dtype=np.float64).tolist(),
+        "history": history.to_dict(),
+        "metadata": metadata or {},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_run(
+    path: str | Path,
+) -> tuple[TrainingConfig, np.ndarray, TrainingHistory, dict[str, Any]]:
+    """Load a run saved by :func:`save_run`.
+
+    Returns:
+        ``(config, theta, history, metadata)``.
+
+    Raises:
+        ValueError: on format-version mismatch or malformed payloads.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported run-file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    config = config_from_dict(payload["config"])
+    theta = np.asarray(payload["theta"], dtype=np.float64)
+    history = history_from_dict(payload["history"])
+    return config, theta, history, payload.get("metadata", {})

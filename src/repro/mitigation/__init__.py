@@ -1,0 +1,27 @@
+"""Device characterization & error mitigation (Sec. 2's calibrate/characterize note)."""
+
+from repro.mitigation.randomized_benchmarking import (
+    RbResult,
+    random_clifford_sequence,
+    rb_circuit,
+    run_rb,
+)
+from repro.mitigation.readout import (
+    ReadoutCalibration,
+    calibrate_readout,
+    calibration_circuits,
+    mitigate_probabilities,
+    mitigated_expectations,
+)
+
+__all__ = [
+    "RbResult",
+    "ReadoutCalibration",
+    "calibrate_readout",
+    "calibration_circuits",
+    "mitigate_probabilities",
+    "mitigated_expectations",
+    "random_clifford_sequence",
+    "rb_circuit",
+    "run_rb",
+]

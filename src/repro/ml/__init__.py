@@ -1,0 +1,48 @@
+"""Classical ML substrate: loss head, optimizers, schedulers, PCA, metrics."""
+
+from repro.ml.functional import (
+    log_softmax,
+    one_hot,
+    softmax,
+    softmax_jacobian,
+)
+from repro.ml.loss import cross_entropy, nll_from_probabilities
+from repro.ml.metrics import accuracy, confusion_matrix, mean_relative_error
+from repro.ml.optim import (
+    OPTIMIZERS,
+    Adam,
+    Momentum,
+    Optimizer,
+    SGD,
+    make_optimizer,
+)
+from repro.ml.pca import PCA
+from repro.ml.schedulers import (
+    ConstantScheduler,
+    CosineScheduler,
+    Scheduler,
+    StepDecayScheduler,
+)
+
+__all__ = [
+    "Adam",
+    "ConstantScheduler",
+    "CosineScheduler",
+    "Momentum",
+    "OPTIMIZERS",
+    "Optimizer",
+    "PCA",
+    "SGD",
+    "Scheduler",
+    "StepDecayScheduler",
+    "accuracy",
+    "confusion_matrix",
+    "cross_entropy",
+    "log_softmax",
+    "make_optimizer",
+    "mean_relative_error",
+    "nll_from_probabilities",
+    "one_hot",
+    "softmax",
+    "softmax_jacobian",
+]

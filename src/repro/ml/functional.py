@@ -1,0 +1,50 @@
+"""Numerically stable classical NN primitives (numpy only).
+
+The on-chip training pipeline keeps only the loss head on the classical
+side (Fig. 4, right): softmax over the measured expectation values and
+cross-entropy against the target distribution.  Backward passes are
+implemented analytically — there is no autodiff framework underneath, so
+tests validate every gradient against finite differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax: shift by the max before exponentiation."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Integer labels -> one-hot rows."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(
+            f"labels out of range [0, {n_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.size, n_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def softmax_jacobian(logits: np.ndarray) -> np.ndarray:
+    """Jacobian of softmax for a single logit vector.
+
+    ``J[i, j] = p_i (delta_ij - p_j)``; used by tests and by analyses that
+    need the full chain-rule factorization of Fig. 4.
+    """
+    probs = softmax(np.asarray(logits, dtype=np.float64).reshape(-1))
+    return np.diag(probs) - np.outer(probs, probs)

@@ -1,0 +1,70 @@
+"""Cross-entropy loss head with analytic backward (Eq. 3 / Fig. 4 right).
+
+``L(theta) = -t^T log softmax(f(theta))`` where ``f`` is the measured
+expectation vector (the logits).  The only gradient the quantum side needs
+from here is ``dL/df = softmax(f) - t`` per example — the classic
+softmax/cross-entropy shortcut — which is then dotted with the
+parameter-shift Jacobian.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.functional import log_softmax, one_hot, softmax
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Args:
+        logits: ``(batch, n_classes)`` (or a single ``(n_classes,)`` row).
+        targets: Integer class labels ``(batch,)`` or a one-hot / soft
+            target distribution ``(batch, n_classes)``.
+
+    Returns:
+        ``(loss, grad)`` where grad has the logits' shape and already
+        includes the ``1/batch`` factor of the mean reduction.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    single = logits.ndim == 1
+    if single:
+        logits = logits[None, :]
+    batch, n_classes = logits.shape
+
+    targets = np.asarray(targets)
+    if targets.ndim <= 1 and np.issubdtype(targets.dtype, np.integer):
+        target_dist = one_hot(targets, n_classes)
+    else:
+        target_dist = np.asarray(targets, dtype=np.float64)
+        if single and target_dist.ndim == 1:
+            target_dist = target_dist[None, :]
+        if target_dist.shape != logits.shape:
+            raise ValueError(
+                f"target shape {target_dist.shape} does not match logits "
+                f"{logits.shape}"
+            )
+        sums = target_dist.sum(axis=1)
+        if np.any(target_dist < -1e-12) or not np.allclose(sums, 1.0):
+            raise ValueError("soft targets must be distributions")
+
+    log_probs = log_softmax(logits, axis=1)
+    loss = float(-(target_dist * log_probs).sum() / batch)
+    grad = (softmax(logits, axis=1) - target_dist) / batch
+    if single:
+        grad = grad[0]
+    return loss, grad
+
+
+def nll_from_probabilities(
+    probs: np.ndarray, labels: np.ndarray, eps: float = 1e-12
+) -> float:
+    """Mean negative log-likelihood from already-normalized probabilities."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim == 1:
+        probs = probs[None, :]
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    picked = probs[np.arange(labels.size), labels]
+    return float(-np.log(np.clip(picked, eps, None)).mean())

@@ -1,0 +1,60 @@
+"""Classification metrics used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions.
+
+    Args:
+        predictions: Either integer class predictions ``(batch,)`` or
+            logit/probability rows ``(batch, n_classes)`` (argmaxed).
+        labels: Integer ground-truth labels ``(batch,)``.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    predictions = predictions.reshape(-1).astype(np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError("prediction/label count mismatch")
+    if labels.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """``C[i, j]`` = count of samples with true class i predicted as j."""
+    predictions = np.asarray(predictions)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    predictions = predictions.reshape(-1).astype(np.int64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if predictions.shape != labels.shape:
+        raise ValueError("prediction/label count mismatch")
+    out = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for true, pred in zip(labels, predictions):
+        if not (0 <= true < n_classes and 0 <= pred < n_classes):
+            raise ValueError("class index out of range")
+        out[true, pred] += 1
+    return out
+
+
+def mean_relative_error(
+    estimates: np.ndarray, references: np.ndarray, eps: float = 1e-12
+) -> float:
+    """Mean of ``|estimate - reference| / max(|reference|, eps)``.
+
+    The metric of Fig. 2(c): how wrong noisy gradient estimates are,
+    relative to their true magnitude.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64).reshape(-1)
+    references = np.asarray(references, dtype=np.float64).reshape(-1)
+    if estimates.shape != references.shape:
+        raise ValueError("shape mismatch")
+    denom = np.maximum(np.abs(references), eps)
+    return float((np.abs(estimates - references) / denom).mean())

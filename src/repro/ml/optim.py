@@ -1,0 +1,158 @@
+"""Optimizers: SGD, SGD with momentum, Adam (Table 3).
+
+All three update a flat numpy parameter vector in place.  The crucial
+detail for gradient pruning: :meth:`Optimizer.step` takes an optional
+``mask`` of the parameters whose gradients were actually evaluated this
+step — pruned (frozen) parameters must not have their momentum / moment
+statistics polluted by the zero placeholder gradients, so masked entries
+are skipped entirely (their state is left untouched, matching a truly
+frozen parameter).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Optimizer(abc.ABC):
+    """Base class; subclasses implement the per-parameter update rule."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    @property
+    def step_count(self) -> int:
+        """Total update steps applied."""
+        return self._step_count
+
+    def step(
+        self,
+        params: np.ndarray,
+        grads: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Update ``params`` in place; returns it for convenience.
+
+        Args:
+            params: Flat parameter vector (modified in place).
+            grads: Gradient vector of the same shape.
+            mask: Optional boolean vector; ``False`` entries are frozen
+                this step (used by gradient pruning).
+        """
+        params = np.asarray(params)
+        grads = np.asarray(grads, dtype=np.float64)
+        if params.shape != grads.shape:
+            raise ValueError("params/grads shape mismatch")
+        if mask is None:
+            mask = np.ones(params.shape, dtype=bool)
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != params.shape:
+                raise ValueError("mask shape mismatch")
+        self._step_count += 1
+        self._update(params, grads, mask)
+        return params
+
+    @abc.abstractmethod
+    def _update(
+        self, params: np.ndarray, grads: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Apply the rule to the masked entries."""
+
+    def set_lr(self, lr: float) -> None:
+        """Change the learning rate (used by schedulers)."""
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent: ``theta -= lr * g``."""
+
+    def _update(
+        self, params: np.ndarray, grads: np.ndarray, mask: np.ndarray
+    ) -> None:
+        params[mask] -= self.lr * grads[mask]
+
+
+class Momentum(Optimizer):
+    """SGD with heavy-ball momentum (paper uses factor 0.8).
+
+    ``v = mu * v + g;  theta -= lr * v`` on unmasked entries.
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.8):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: np.ndarray | None = None
+
+    def _update(
+        self, params: np.ndarray, grads: np.ndarray, mask: np.ndarray
+    ) -> None:
+        if self._velocity is None:
+            self._velocity = np.zeros_like(params, dtype=np.float64)
+        vel = self._velocity
+        vel[mask] = self.momentum * vel[mask] + grads[mask]
+        params[mask] -= self.lr * vel[mask]
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (the paper's default optimizer).
+
+    Per-parameter step counts are tracked individually so that frozen
+    (pruned) parameters keep correct bias correction when they resume.
+    """
+
+    def __init__(
+        self,
+        lr: float,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self._m: np.ndarray | None = None
+        self._v: np.ndarray | None = None
+        self._t: np.ndarray | None = None
+
+    def _update(
+        self, params: np.ndarray, grads: np.ndarray, mask: np.ndarray
+    ) -> None:
+        if self._m is None:
+            self._m = np.zeros_like(params, dtype=np.float64)
+            self._v = np.zeros_like(params, dtype=np.float64)
+            self._t = np.zeros(params.shape, dtype=np.int64)
+        m, v, t = self._m, self._v, self._t
+        t[mask] += 1
+        m[mask] = self.beta1 * m[mask] + (1 - self.beta1) * grads[mask]
+        v[mask] = self.beta2 * v[mask] + (1 - self.beta2) * grads[mask] ** 2
+        t_masked = t[mask]
+        m_hat = m[mask] / (1 - self.beta1**t_masked)
+        v_hat = v[mask] / (1 - self.beta2**t_masked)
+        params[mask] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+OPTIMIZERS = {"sgd": SGD, "momentum": Momentum, "adam": Adam}
+
+
+def make_optimizer(name: str, lr: float, **kwargs) -> Optimizer:
+    """Build an optimizer by name (``sgd`` / ``momentum`` / ``adam``)."""
+    key = name.lower()
+    if key not in OPTIMIZERS:
+        raise KeyError(
+            f"unknown optimizer {name!r}; known: {sorted(OPTIMIZERS)}"
+        )
+    return OPTIMIZERS[key](lr, **kwargs)

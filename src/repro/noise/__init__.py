@@ -1,0 +1,36 @@
+"""NISQ noise substrate: Kraus channels, calibrations, device noise models."""
+
+from repro.noise.calibration import (
+    CALIBRATIONS,
+    DeviceCalibration,
+    get_calibration,
+)
+from repro.noise.channels import (
+    amplitude_damping,
+    bit_flip,
+    coherent_overrotation,
+    compose_channels,
+    depolarizing,
+    is_cptp,
+    phase_damping,
+    phase_flip,
+    thermal_relaxation,
+)
+from repro.noise.model import NoiseModel, noise_model_for
+
+__all__ = [
+    "CALIBRATIONS",
+    "DeviceCalibration",
+    "NoiseModel",
+    "amplitude_damping",
+    "bit_flip",
+    "coherent_overrotation",
+    "compose_channels",
+    "depolarizing",
+    "get_calibration",
+    "is_cptp",
+    "noise_model_for",
+    "phase_damping",
+    "phase_flip",
+    "thermal_relaxation",
+]

@@ -1,0 +1,137 @@
+"""Kraus operators for the standard NISQ error channels.
+
+These model the error sources the paper names in Sec. 2 ("Quantum noise"):
+operation errors on gates (stochastic Pauli / depolarizing, coherent
+over-rotation) and decoherence (amplitude damping from T1 relaxation,
+phase damping from T2 dephasing), plus readout assignment error handled in
+:mod:`repro.sim.measurement`.
+
+Every factory returns a list of Kraus operators ``K_k`` satisfying the
+completeness relation ``sum_k K_k^dagger K_k = I`` (checked by
+:func:`is_cptp` and by the property tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import gates as _gates
+
+
+def _check_probability(p: float, name: str) -> float:
+    p = float(p)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+    return p
+
+
+def depolarizing(p: float, n_qubits: int = 1) -> list[np.ndarray]:
+    """Depolarizing channel on ``n_qubits`` qubits.
+
+    With probability ``p`` the state is replaced by one of the 4^n - 1
+    non-identity Pauli errors (uniformly); with probability ``1 - p`` it is
+    left alone.  This is the canonical model of stochastic gate error.
+    """
+    p = _check_probability(p, "depolarizing probability")
+    if n_qubits not in (1, 2):
+        raise ValueError("depolarizing channel supports 1 or 2 qubits")
+    paulis_1q = [_gates.I2, _gates.X, _gates.Y, _gates.Z]
+    if n_qubits == 1:
+        words = paulis_1q
+    else:
+        words = [np.kron(a, b) for a in paulis_1q for b in paulis_1q]
+    n_errors = len(words) - 1
+    ops = [np.sqrt(1.0 - p) * words[0]]
+    ops.extend(np.sqrt(p / n_errors) * w for w in words[1:])
+    return ops
+
+
+def bit_flip(p: float) -> list[np.ndarray]:
+    """X error with probability ``p``."""
+    p = _check_probability(p, "bit-flip probability")
+    return [np.sqrt(1.0 - p) * _gates.I2, np.sqrt(p) * _gates.X]
+
+
+def phase_flip(p: float) -> list[np.ndarray]:
+    """Z error with probability ``p``."""
+    p = _check_probability(p, "phase-flip probability")
+    return [np.sqrt(1.0 - p) * _gates.I2, np.sqrt(p) * _gates.Z]
+
+
+def amplitude_damping(gamma: float) -> list[np.ndarray]:
+    """T1 relaxation: |1> decays to |0> with probability ``gamma``."""
+    gamma = _check_probability(gamma, "damping rate gamma")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - gamma)]],
+                  dtype=np.complex128)
+    k1 = np.array([[0.0, np.sqrt(gamma)], [0.0, 0.0]], dtype=np.complex128)
+    return [k0, k1]
+
+
+def phase_damping(lam: float) -> list[np.ndarray]:
+    """Pure dephasing: off-diagonals shrink by ``sqrt(1 - lam)``."""
+    lam = _check_probability(lam, "dephasing rate lambda")
+    k0 = np.array([[1.0, 0.0], [0.0, np.sqrt(1.0 - lam)]],
+                  dtype=np.complex128)
+    k1 = np.array([[0.0, 0.0], [0.0, np.sqrt(lam)]], dtype=np.complex128)
+    return [k0, k1]
+
+
+def thermal_relaxation(
+    duration: float, t1: float, t2: float
+) -> list[np.ndarray]:
+    """Combined T1/T2 decoherence over a gate of the given duration.
+
+    Composes amplitude damping with rate ``1 - exp(-d/T1)`` and the extra
+    pure dephasing needed to realize ``T2`` (which must satisfy
+    ``T2 <= 2*T1``).  Durations and times share any single unit.
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if t1 <= 0 or t2 <= 0:
+        raise ValueError("T1 and T2 must be positive")
+    if t2 > 2 * t1:
+        raise ValueError("T2 cannot exceed 2*T1")
+    gamma = 1.0 - np.exp(-duration / t1)
+    # Total coherence decay e^{-d/T2}; amplitude damping alone contributes
+    # e^{-d/(2 T1)}, pure dephasing supplies the remainder.
+    denom = np.exp(-duration / (2.0 * t1))
+    if denom <= 0.0:  # both factors underflowed: coherence is fully gone
+        residual = 0.0
+    else:
+        residual = min(1.0, np.exp(-duration / t2) / denom)
+    lam = 1.0 - residual**2
+    damping = amplitude_damping(float(gamma))
+    dephasing = phase_damping(float(lam))
+    return compose_channels(damping, dephasing)
+
+
+def coherent_overrotation(angle: float, axis: str = "z") -> list[np.ndarray]:
+    """Systematic (coherent) error: a small unwanted rotation.
+
+    A single unitary Kraus operator — coherent errors do not decohere the
+    state, they consistently bias it, which is what makes small gradients
+    point the wrong way (Fig. 2c).
+    """
+    axis = axis.lower()
+    if axis not in ("x", "y", "z"):
+        raise ValueError("axis must be x, y, or z")
+    factory = {"x": _gates.rx, "y": _gates.ry, "z": _gates.rz}[axis]
+    return [factory(float(angle))]
+
+
+def compose_channels(
+    first: list[np.ndarray], second: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Kraus ops of ``second after first`` (both on the same qubits)."""
+    return [k2 @ k1 for k1 in first for k2 in second]
+
+
+def is_cptp(kraus_ops: list[np.ndarray], atol: float = 1e-9) -> bool:
+    """Check the completeness relation ``sum K^dagger K = I``."""
+    if not kraus_ops:
+        return False
+    dim = kraus_ops[0].shape[0]
+    total = np.zeros((dim, dim), dtype=np.complex128)
+    for kraus in kraus_ops:
+        total += kraus.conj().T @ kraus
+    return bool(np.allclose(total, np.eye(dim), atol=atol))

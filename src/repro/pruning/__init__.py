@@ -1,0 +1,28 @@
+"""Probabilistic gradient pruning (Sec. 3.3 / Alg. 1 / Fig. 5)."""
+
+from repro.pruning.accumulator import MagnitudeAccumulator
+from repro.pruning.pruner import GradientPruner, NoPruner
+from repro.pruning.samplers import (
+    SAMPLERS,
+    deterministic_subset,
+    keep_count,
+    probabilistic_subset,
+)
+from repro.pruning.schedule import (
+    Phase,
+    PruningHyperparams,
+    PruningScheduleState,
+)
+
+__all__ = [
+    "GradientPruner",
+    "MagnitudeAccumulator",
+    "NoPruner",
+    "Phase",
+    "PruningHyperparams",
+    "PruningScheduleState",
+    "SAMPLERS",
+    "deterministic_subset",
+    "keep_count",
+    "probabilistic_subset",
+]

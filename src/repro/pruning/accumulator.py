@@ -1,0 +1,62 @@
+"""Window-based gradient magnitude accumulation (Fig. 5, phase 1).
+
+During the accumulation window every parameter's gradient is evaluated and
+its magnitude added to an accumulator ``M``; at the window's end, ``M``
+(normalized) becomes the sampling distribution the pruning phase draws
+reliable parameters from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MagnitudeAccumulator:
+    """Accumulates ``M <- M + |grad|`` over an accumulation window.
+
+    Args:
+        n_params: Length of the gradient vectors.
+    """
+
+    def __init__(self, n_params: int):
+        if n_params < 1:
+            raise ValueError("need at least one parameter")
+        self.n_params = int(n_params)
+        self._magnitudes = np.zeros(self.n_params, dtype=np.float64)
+        self._updates = 0
+
+    def update(self, gradients: np.ndarray) -> None:
+        """Add one step's gradient magnitudes."""
+        gradients = np.asarray(gradients, dtype=np.float64)
+        if gradients.shape != (self.n_params,):
+            raise ValueError(
+                f"expected shape ({self.n_params},), got {gradients.shape}"
+            )
+        self._magnitudes += np.abs(gradients)
+        self._updates += 1
+
+    def reset(self) -> None:
+        """Start a fresh accumulation window (each stage of Alg. 1)."""
+        self._magnitudes[:] = 0.0
+        self._updates = 0
+
+    @property
+    def magnitudes(self) -> np.ndarray:
+        """Accumulated magnitudes (copy)."""
+        return self._magnitudes.copy()
+
+    @property
+    def updates(self) -> int:
+        """Number of gradient vectors accumulated since the last reset."""
+        return self._updates
+
+    def distribution(self) -> np.ndarray:
+        """Normalized sampling distribution over parameters.
+
+        Falls back to uniform when nothing was accumulated (or all
+        magnitudes are zero), so the sampler is always well defined.
+        """
+        total = self._magnitudes.sum()
+        if total <= 0.0:
+            return np.full(self.n_params, 1.0 / self.n_params)
+        return self._magnitudes / total

@@ -1,0 +1,95 @@
+"""Parameter-subset samplers: probabilistic vs deterministic (Table 2).
+
+The pruning phase keeps ``(1 - r) * n`` parameters per step:
+
+* **probabilistic** (the paper's proposal): sample *without replacement*
+  with probabilities proportional to the accumulated gradient magnitudes —
+  small-magnitude (unreliable) gradients are *likely* pruned but every
+  parameter retains a chance of being updated, avoiding sampling bias;
+* **deterministic** (the Table 2 baseline): always keep the top-k
+  magnitudes — cheaper but biased, costing 1-7% accuracy in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def keep_count(n_params: int, ratio: float) -> int:
+    """Number of parameters kept at pruning ratio ``r``.
+
+    ``(1 - r) * n`` rounded to nearest, clamped to ``[1, n]`` for ``r < 1``
+    (r == 1 prunes everything and keeps zero).
+    """
+    if n_params < 1:
+        raise ValueError("need at least one parameter")
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError("pruning ratio must be in [0, 1]")
+    if ratio == 1.0:
+        return 0
+    kept = int(round((1.0 - ratio) * n_params))
+    return min(n_params, max(1, kept))
+
+
+def probabilistic_subset(
+    magnitudes: np.ndarray,
+    ratio: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample kept parameter indices ~ P_M without replacement.
+
+    Args:
+        magnitudes: Accumulated gradient magnitudes (non-negative).
+        ratio: Pruning ratio ``r``; ``(1-r)*n`` indices are returned.
+        rng: Random generator.
+
+    Returns:
+        Sorted array of kept parameter indices.
+    """
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    if magnitudes.ndim != 1:
+        raise ValueError("magnitudes must be a vector")
+    if np.any(magnitudes < 0):
+        raise ValueError("magnitudes must be non-negative")
+    n_params = magnitudes.size
+    kept = keep_count(n_params, ratio)
+    if kept == 0:
+        return np.empty(0, dtype=np.int64)
+    total = magnitudes.sum()
+    if total <= 0:
+        probs = np.full(n_params, 1.0 / n_params)
+    else:
+        probs = magnitudes / total
+    # Weighted sampling without replacement.  numpy raises when fewer
+    # nonzero weights than draws exist; pad with uniform mass over the
+    # zero-weight entries in that case (they are equally "unreliable").
+    nonzero = int(np.count_nonzero(probs))
+    if nonzero < kept:
+        floor = 1e-12
+        probs = probs + floor
+        probs = probs / probs.sum()
+    chosen = rng.choice(n_params, size=kept, replace=False, p=probs)
+    return np.sort(chosen.astype(np.int64))
+
+
+def deterministic_subset(magnitudes: np.ndarray, ratio: float) -> np.ndarray:
+    """Keep the top-``(1-r)*n`` parameters by accumulated magnitude.
+
+    Ties are broken by parameter index (stable), so results are fully
+    deterministic.
+    """
+    magnitudes = np.asarray(magnitudes, dtype=np.float64)
+    if magnitudes.ndim != 1:
+        raise ValueError("magnitudes must be a vector")
+    kept = keep_count(magnitudes.size, ratio)
+    if kept == 0:
+        return np.empty(0, dtype=np.int64)
+    # argsort ascending on (-magnitude, index) -> stable top-k.
+    order = np.lexsort((np.arange(magnitudes.size), -magnitudes))
+    return np.sort(order[:kept].astype(np.int64))
+
+
+SAMPLERS = {
+    "probabilistic": probabilistic_subset,
+    "deterministic": deterministic_subset,
+}

@@ -1,0 +1,84 @@
+"""The stage machine of Alg. 1: accumulation window then pruning window.
+
+Training steps cycle through stages of ``w_a`` accumulation steps (all
+gradients evaluated, magnitudes recorded) followed by ``w_p`` pruning
+steps (a sampled subset evaluated).  The fraction of gradient evaluations
+saved is ``r * w_p / (w_a + w_p)`` (Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class Phase(enum.Enum):
+    """Which window of a stage a training step belongs to."""
+
+    ACCUMULATE = "accumulate"
+    PRUNE = "prune"
+
+
+@dataclasses.dataclass(frozen=True)
+class PruningHyperparams:
+    """The three hyper-parameters of probabilistic gradient pruning.
+
+    Attributes:
+        accumulation_window: ``w_a`` — steps of full gradient evaluation
+            per stage (paper default 1).
+        pruning_window: ``w_p`` — pruned steps per stage (paper: 2-3).
+        ratio: ``r`` — fraction of parameters pruned during the pruning
+            window (paper: 0.3-0.5; 0.7 for Fashion-4).
+    """
+
+    accumulation_window: int = 1
+    pruning_window: int = 2
+    ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.accumulation_window < 1:
+            raise ValueError("accumulation window must be >= 1")
+        if self.pruning_window < 0:
+            raise ValueError("pruning window must be >= 0")
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ValueError("pruning ratio must be in [0, 1]")
+
+    @property
+    def stage_length(self) -> int:
+        """Steps per stage: ``w_a + w_p``."""
+        return self.accumulation_window + self.pruning_window
+
+    @property
+    def time_saved_fraction(self) -> float:
+        """Fraction of gradient evaluations skipped: r*w_p/(w_a+w_p)."""
+        return self.ratio * self.pruning_window / self.stage_length
+
+
+class PruningScheduleState:
+    """Tracks which phase a given training step falls into.
+
+    Steps are 0-based; step ``t`` belongs to stage ``t // stage_length``,
+    and is an accumulation step iff ``t % stage_length < w_a``.
+    """
+
+    def __init__(self, hyperparams: PruningHyperparams):
+        self.hyperparams = hyperparams
+
+    def phase_at(self, step: int) -> Phase:
+        """Phase of 0-based training step ``step``."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        offset = step % self.hyperparams.stage_length
+        if offset < self.hyperparams.accumulation_window:
+            return Phase.ACCUMULATE
+        return Phase.PRUNE
+
+    def stage_at(self, step: int) -> int:
+        """Stage index containing step ``step``."""
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return step // self.hyperparams.stage_length
+
+    def is_stage_start(self, step: int) -> bool:
+        """True at the first step of each stage (accumulator reset point)."""
+        return step % self.hyperparams.stage_length == 0

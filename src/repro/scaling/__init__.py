@@ -1,0 +1,36 @@
+"""Scalability models: Fig. 2a complexity and Fig. 8 runtime/memory."""
+
+from repro.scaling.cost_model import (
+    CircuitWorkload,
+    classical_ops,
+    classical_registers,
+    complexity_table,
+    quantum_ops,
+    quantum_registers,
+)
+from repro.scaling.crossover import advantage_factor, crossover_qubits
+from repro.scaling.runtime_model import (
+    ExponentialFit,
+    build_benchmark_circuit,
+    classical_memory_gb,
+    fit_classical_runtime,
+    measure_classical_seconds,
+    runtime_table,
+)
+
+__all__ = [
+    "CircuitWorkload",
+    "ExponentialFit",
+    "advantage_factor",
+    "build_benchmark_circuit",
+    "classical_memory_gb",
+    "classical_ops",
+    "classical_registers",
+    "complexity_table",
+    "crossover_qubits",
+    "fit_classical_runtime",
+    "measure_classical_seconds",
+    "quantum_ops",
+    "quantum_registers",
+    "runtime_table",
+]

@@ -1,0 +1,115 @@
+"""Theoretical complexity model (Fig. 2a): #Ops and #Regs vs #qubits.
+
+Classical statevector simulation of an ``n``-qubit circuit stores
+``2^n`` complex amplitudes and each gate touches all of them; a real
+quantum device stores the state *in the qubits themselves* and executes
+each gate in constant time.  The reference workload is the paper's
+Fig. 8 circuit: 16 single-qubit rotation gates and 32 RZZ gates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitWorkload:
+    """Gate-count description of the benchmark circuit family."""
+
+    n_rotation_gates: int = 16
+    n_rzz_gates: int = 32
+    shots: int = 1024
+    n_circuits: int = 50
+
+    @property
+    def total_gates(self) -> int:
+        """Rotation + RZZ gate count per circuit."""
+        return self.n_rotation_gates + self.n_rzz_gates
+
+
+def classical_registers(n_qubits: int) -> float:
+    """Scalar registers a statevector simulator needs: ``2 * 2^n``.
+
+    A complex amplitude is two scalar registers; the count is per circuit
+    (simulators reuse the state buffer across circuits).
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    return 2.0 * 2.0**n_qubits
+
+
+def classical_ops(
+    n_qubits: int, workload: CircuitWorkload = CircuitWorkload()
+) -> float:
+    """Floating-point ops to simulate the workload classically.
+
+    Each single-qubit gate is a 2x2 complex matmul across ``2^(n-1)``
+    amplitude pairs (~14 real flops per pair); each RZZ touches ``2^n``
+    amplitudes with a diagonal phase (~6 real flops each).
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    dim = 2.0**n_qubits
+    per_rotation = 14.0 * dim / 2.0
+    per_rzz = 6.0 * dim
+    per_circuit = (
+        workload.n_rotation_gates * per_rotation
+        + workload.n_rzz_gates * per_rzz
+    )
+    return workload.n_circuits * per_circuit
+
+
+def quantum_registers(n_qubits: int) -> float:
+    """Physical registers on a quantum device: the ``n`` qubits."""
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    return float(n_qubits)
+
+
+def quantum_ops(
+    n_qubits: int, workload: CircuitWorkload = CircuitWorkload()
+) -> float:
+    """Gate executions on hardware: gates x shots x circuits.
+
+    Independent of ``n`` for a fixed circuit; grows only through the
+    (linear) routing overhead, modelled as in Fig. 8's runtime curve.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    routing_factor = 1.0 + 0.25 * max(0, n_qubits - 4)
+    gates = (
+        workload.n_rotation_gates + workload.n_rzz_gates * routing_factor
+    )
+    return workload.n_circuits * gates * workload.shots
+
+
+def complexity_table(
+    qubit_range: list[int] | None = None,
+    workload: CircuitWorkload = CircuitWorkload(),
+) -> dict[str, np.ndarray]:
+    """The four Fig. 2a series over a qubit sweep.
+
+    Returns:
+        Dict with keys ``qubits``, ``classical_ops``, ``quantum_ops``,
+        ``classical_regs``, ``quantum_regs``.
+    """
+    if qubit_range is None:
+        qubit_range = list(range(2, 41, 2))
+    qubits = np.asarray(qubit_range, dtype=np.int64)
+    return {
+        "qubits": qubits,
+        "classical_ops": np.array(
+            [classical_ops(int(n), workload) for n in qubits]
+        ),
+        "quantum_ops": np.array(
+            [quantum_ops(int(n), workload) for n in qubits]
+        ),
+        "classical_regs": np.array(
+            [classical_registers(int(n)) for n in qubits]
+        ),
+        "quantum_regs": np.array(
+            [quantum_registers(int(n)) for n in qubits]
+        ),
+    }

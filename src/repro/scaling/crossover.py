@@ -1,0 +1,60 @@
+"""Quantum-advantage crossover analysis.
+
+The paper observes "clear quantum advantages on circuits with more than 27
+qubits" (Sec. 4.3): the exponential classical runtime curve crosses the
+near-linear quantum curve in the high-20s.  These helpers locate that
+crossover on any pair of cost series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def crossover_qubits(
+    qubits: np.ndarray,
+    classical: np.ndarray,
+    quantum: np.ndarray,
+) -> int | None:
+    """First qubit count where the quantum cost drops below classical.
+
+    Args:
+        qubits: Increasing qubit counts.
+        classical / quantum: Cost series aligned with ``qubits``.
+
+    Returns:
+        The smallest qubit count with ``quantum < classical`` that stays
+        cheaper for the rest of the series, or ``None`` if no such point.
+    """
+    qubits = np.asarray(qubits)
+    classical = np.asarray(classical, dtype=np.float64)
+    quantum = np.asarray(quantum, dtype=np.float64)
+    if not (qubits.shape == classical.shape == quantum.shape):
+        raise ValueError("series must share a shape")
+    if qubits.size == 0:
+        return None
+    if np.any(np.diff(qubits) <= 0):
+        raise ValueError("qubit counts must be strictly increasing")
+    cheaper = quantum < classical
+    for position in range(qubits.size):
+        if cheaper[position] and bool(np.all(cheaper[position:])):
+            return int(qubits[position])
+    return None
+
+
+def advantage_factor(
+    qubits: np.ndarray,
+    classical: np.ndarray,
+    quantum: np.ndarray,
+    at_qubits: int,
+) -> float:
+    """``classical / quantum`` cost ratio at a specific qubit count."""
+    qubits = np.asarray(qubits)
+    matches = np.nonzero(qubits == at_qubits)[0]
+    if matches.size == 0:
+        raise ValueError(f"{at_qubits} qubits not in the series")
+    index = int(matches[0])
+    quantum_cost = float(np.asarray(quantum, dtype=np.float64)[index])
+    if quantum_cost <= 0:
+        raise ValueError("quantum cost must be positive")
+    return float(np.asarray(classical, dtype=np.float64)[index]) / quantum_cost

@@ -1,0 +1,42 @@
+"""Quantum state simulation substrate (statevector + density matrix)."""
+
+from repro.sim.adjoint import adjoint_expectation_and_jacobian, adjoint_jacobian
+from repro.sim.apply import (
+    apply_kraus_to_density,
+    apply_matrix,
+    apply_matrix_to_density,
+    expand_matrix,
+)
+from repro.sim.density import DensityMatrix
+from repro.sim.gates import GATES, SHIFT_RULE_GATES, GateSpec, get_gate
+from repro.sim.measurement import (
+    apply_readout_error,
+    counts_to_probabilities,
+    expectation_z_from_counts,
+    expectation_z_from_probabilities,
+    readout_confusion_matrix,
+    sample_from_probabilities,
+)
+from repro.sim.statevector import Statevector, run_statevector
+
+__all__ = [
+    "GATES",
+    "SHIFT_RULE_GATES",
+    "DensityMatrix",
+    "GateSpec",
+    "Statevector",
+    "adjoint_expectation_and_jacobian",
+    "adjoint_jacobian",
+    "apply_kraus_to_density",
+    "apply_matrix",
+    "apply_matrix_to_density",
+    "apply_readout_error",
+    "counts_to_probabilities",
+    "expand_matrix",
+    "expectation_z_from_counts",
+    "expectation_z_from_probabilities",
+    "get_gate",
+    "readout_confusion_matrix",
+    "run_statevector",
+    "sample_from_probabilities",
+]

@@ -1,0 +1,89 @@
+"""Adjoint-mode analytic differentiation of circuit expectations.
+
+Computes the exact Jacobian ``d<Z_k>/d theta_i`` of all per-qubit Pauli-Z
+expectations with respect to all trainable parameters in a single forward
+pass plus one backward sweep — O(gates) statevector applications instead of
+the O(2 * n_params * gates) of parameter shift.  This powers the fast
+noise-free Classical-Train baseline; agreement with parameter shift on the
+ideal backend is the central correctness invariant of the repo (see
+``tests/test_gradients_agreement.py``).
+
+Derivation: with ``|psi_j> = U_j ... U_1 |0>`` and
+``<b_j| = <psi_N| O U_N ... U_{j+1}``, the derivative of
+``f = <psi_N|O|psi_N>`` w.r.t. the parameter of gate ``j`` (of generator
+``G``, ``U_j = exp(-i theta G / 2)``) is ``Im(<b_j| G |psi_j>)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim import apply as _apply
+from repro.sim import gates as _gates
+from repro.sim.statevector import Statevector
+
+
+def adjoint_jacobian(circuit) -> np.ndarray:
+    """Exact Jacobian of per-qubit Z expectations w.r.t. trainable params.
+
+    Args:
+        circuit: a :class:`repro.circuits.QuantumCircuit`.  All trainable
+            operations must use shift-rule gates (single-parameter Pauli
+            rotations), which is true of every ansatz in the paper.
+
+    Returns:
+        Array of shape ``(n_qubits, n_params)`` where entry ``(k, i)`` is
+        ``d<Z_k>/d theta_i``.  Multiple occurrences of one parameter are
+        summed, matching Sec. 3.1's multi-occurrence rule.
+    """
+    n_qubits = circuit.n_qubits
+    n_params = circuit.num_parameters
+    jacobian = np.zeros((n_qubits, n_params), dtype=np.float64)
+
+    ops = list(circuit.operations)
+    for op in ops:
+        if op.param_index is not None:
+            spec = _gates.get_gate(op.name)
+            if not spec.shift_rule:
+                raise ValueError(
+                    f"adjoint differentiation requires Pauli-rotation "
+                    f"trainable gates, got {op.name!r}"
+                )
+
+    # Forward pass.
+    ket = Statevector(n_qubits)
+    for op in ops:
+        ket.apply_gate(op.name, op.wires, *op.params)
+
+    # One adjoint state per observable Z_k.
+    bras = []
+    for k in range(n_qubits):
+        bra = ket.copy()
+        bra.apply_matrix(_gates.Z, [k])
+        bras.append(bra)
+
+    # Backward sweep.
+    for op in reversed(ops):
+        if op.param_index is not None:
+            spec = _gates.get_gate(op.name)
+            generator = _gates.pauli_word_matrix(spec.generator)
+            g_ket = _apply.apply_matrix(ket.tensor, generator, op.wires)
+            for k in range(n_qubits):
+                overlap = np.vdot(bras[k].tensor, g_ket)
+                jacobian[k, op.param_index] += float(np.imag(overlap))
+        # Un-apply the gate from ket and all bras.
+        matrix = _gates.get_gate(op.name).matrix(*op.params)
+        inverse = matrix.conj().T
+        ket.apply_matrix(inverse, op.wires)
+        for bra in bras:
+            bra.apply_matrix(inverse, op.wires)
+
+    return jacobian
+
+
+def adjoint_expectation_and_jacobian(circuit) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: exact ``<Z>`` vector and its Jacobian in one call."""
+    state = Statevector(circuit.n_qubits)
+    state.evolve(circuit)
+    expectations = np.asarray(state.expectation_z(), dtype=np.float64)
+    return expectations, adjoint_jacobian(circuit)

@@ -1,0 +1,163 @@
+"""Tensor-contraction application of gate matrices to state arrays.
+
+The statevector of an ``n``-qubit system is stored as a rank-``n`` complex
+tensor of shape ``(2,) * n`` whose axis ``k`` is qubit ``k``.  Applying a
+``k``-qubit gate is a tensordot over the target axes followed by an axis
+permutation that puts the contracted axes back in place — O(2^n) per gate
+instead of the O(4^n) of building the full unitary.
+
+Density matrices are stored as rank-``2n`` tensors of shape ``(2,) * 2n``:
+axes ``0..n-1`` are the row (ket) indices and axes ``n..2n-1`` the column
+(bra) indices of qubit ``0..n-1`` respectively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _check_wires(wires: Sequence[int], n_qubits: int) -> tuple[int, ...]:
+    wires = tuple(int(w) for w in wires)
+    if len(set(wires)) != len(wires):
+        raise ValueError(f"duplicate wires {wires}")
+    for wire in wires:
+        if not 0 <= wire < n_qubits:
+            raise ValueError(f"wire {wire} out of range for {n_qubits} qubits")
+    return wires
+
+
+def apply_matrix(
+    state: np.ndarray, matrix: np.ndarray, wires: Sequence[int]
+) -> np.ndarray:
+    """Apply a gate matrix to a statevector tensor.
+
+    Args:
+        state: Complex tensor of shape ``(2,) * n``.
+        matrix: ``(2^k, 2^k)`` unitary acting on ``k`` qubits.
+        wires: The ``k`` qubit indices, in the gate's own wire order.
+
+    Returns:
+        New statevector tensor (input is not modified).
+    """
+    n_qubits = state.ndim
+    wires = _check_wires(wires, n_qubits)
+    k = len(wires)
+    if matrix.shape != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {k} wires"
+        )
+    gate = matrix.reshape((2,) * (2 * k))
+    # Contract gate's input legs (axes k..2k-1) with the state's target axes.
+    moved = np.tensordot(gate, state, axes=(range(k, 2 * k), wires))
+    # tensordot puts the gate's output legs first; move them back to `wires`.
+    return np.moveaxis(moved, range(k), wires)
+
+
+def apply_matrix_to_density(
+    rho: np.ndarray, matrix: np.ndarray, wires: Sequence[int]
+) -> np.ndarray:
+    """Apply ``U rho U^dagger`` on the given wires of a density tensor.
+
+    Args:
+        rho: Complex tensor of shape ``(2,) * 2n``.
+        matrix: ``(2^k, 2^k)`` unitary.
+        wires: Qubit indices (row axes ``wires``, column axes ``n + wires``).
+
+    Returns:
+        New density tensor.
+    """
+    n_qubits = rho.ndim // 2
+    wires = _check_wires(wires, n_qubits)
+    k = len(wires)
+    gate = matrix.reshape((2,) * (2 * k))
+    gate_conj = matrix.conj().reshape((2,) * (2 * k))
+    # Left multiplication on ket axes.
+    out = np.tensordot(gate, rho, axes=(range(k, 2 * k), wires))
+    out = np.moveaxis(out, range(k), wires)
+    # Right multiplication (by U^dagger) on bra axes: contract conj(U)'s
+    # input legs with the bra axes, which implements rho @ U^dagger.
+    bra_axes = tuple(n_qubits + w for w in wires)
+    out = np.tensordot(gate_conj, out, axes=(range(k, 2 * k), bra_axes))
+    return np.moveaxis(out, range(k), bra_axes)
+
+
+def apply_kraus_to_density(
+    rho: np.ndarray, kraus_ops: Sequence[np.ndarray], wires: Sequence[int]
+) -> np.ndarray:
+    """Apply a Kraus channel ``rho -> sum_k K_k rho K_k^dagger``.
+
+    Args:
+        rho: Density tensor of shape ``(2,) * 2n``.
+        kraus_ops: Kraus operators, each ``(2^k, 2^k)``.
+        wires: Target qubits.
+
+    Returns:
+        New density tensor.
+    """
+    if not kraus_ops:
+        raise ValueError("channel must have at least one Kraus operator")
+    out = np.zeros_like(rho)
+    for kraus in kraus_ops:
+        out = out + apply_matrix_to_density(rho, kraus, wires)
+    return out
+
+
+def kraus_to_superop(kraus_ops: Sequence[np.ndarray]) -> np.ndarray:
+    """Vectorized channel matrix ``S = sum_k K_k (x) conj(K_k)``.
+
+    Acting on row-major vectorized density matrices:
+    ``vec(rho') = S @ vec(rho)``.  For single-qubit channels S is 4x4,
+    which lets the density simulator apply a whole composed channel stack
+    with one tensor contraction instead of one per Kraus operator.
+    """
+    if not kraus_ops:
+        raise ValueError("channel must have at least one Kraus operator")
+    dim = kraus_ops[0].shape[0]
+    out = np.zeros((dim * dim, dim * dim), dtype=np.complex128)
+    for kraus in kraus_ops:
+        out += np.kron(kraus, kraus.conj())
+    return out
+
+
+def apply_superop_to_density(
+    rho: np.ndarray, superop: np.ndarray, wire: int
+) -> np.ndarray:
+    """Apply a single-qubit channel superoperator to a density tensor.
+
+    Args:
+        rho: Density tensor of shape ``(2,) * 2n``.
+        superop: 4x4 channel matrix from :func:`kraus_to_superop`.
+        wire: Target qubit.
+
+    Returns:
+        New density tensor.
+    """
+    n_qubits = rho.ndim // 2
+    if not 0 <= wire < n_qubits:
+        raise ValueError(f"wire {wire} out of range for {n_qubits} qubits")
+    if superop.shape != (4, 4):
+        raise ValueError("superop must be 4x4 (single-qubit channels only)")
+    tensor = superop.reshape(2, 2, 2, 2)  # (i, j, k, l): out(ij) <- in(kl)
+    out = np.tensordot(tensor, rho, axes=([2, 3], [wire, n_qubits + wire]))
+    return np.moveaxis(out, [0, 1], [wire, n_qubits + wire])
+
+
+def expand_matrix(
+    matrix: np.ndarray, wires: Sequence[int], n_qubits: int
+) -> np.ndarray:
+    """Embed a k-qubit gate into the full ``(2^n, 2^n)`` unitary.
+
+    Used only by tests and small analysis utilities; the simulators never
+    materialize full-system matrices on the hot path.
+    """
+    wires = _check_wires(wires, n_qubits)
+    # Straightforward (clear, O(4^n)) construction via basis columns.
+    out = np.empty((2**n_qubits, 2**n_qubits), dtype=np.complex128)
+    for col in range(2**n_qubits):
+        basis = np.zeros(2**n_qubits, dtype=np.complex128)
+        basis[col] = 1.0
+        tensor = basis.reshape((2,) * n_qubits)
+        out[:, col] = apply_matrix(tensor, matrix, wires).reshape(-1)
+    return out

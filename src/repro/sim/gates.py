@@ -1,0 +1,266 @@
+"""Quantum gate matrix library.
+
+Every gate used by the QOC paper's circuits (and a few more for generality)
+is defined here as an explicit unitary matrix.  Fixed gates are module-level
+constants; parameterized gates are factory functions of their rotation angle.
+
+Parameter-shift metadata
+------------------------
+The parameter-shift rule of the paper (Eq. 2) applies to any gate of the
+form ``U(theta) = exp(-i/2 * theta * H)`` where the Hermitian generator ``H``
+has exactly two unique eigenvalues ``+1`` and ``-1``.  For such gates the
+exact gradient is ``(f(theta + pi/2) - f(theta - pi/2)) / 2``.  The registry
+records, per gate name, whether the shift rule applies, so the gradient
+engine can refuse to differentiate through unsupported gates.
+
+Conventions
+-----------
+* Qubit 0 is the most-significant bit of a basis-state index: the state
+  ``|b0 b1 ... b_{n-1}>`` lives at flat index ``b0*2^(n-1) + ... + b_{n-1}``.
+* Two-qubit gate matrices are given in the basis ``|q_a q_b>`` where ``q_a``
+  is the first wire passed to the circuit operation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+# ---------------------------------------------------------------------------
+# Pauli matrices and other fixed single-qubit gates
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2.0)
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128)
+
+# Two-qubit fixed gates (basis |q_a q_b>, q_a = control where applicable).
+CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+    dtype=np.complex128,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+    dtype=np.complex128,
+)
+
+# Kronecker products of Paulis, used as generators of two-qubit rotations.
+XX = np.kron(X, X)
+YY = np.kron(Y, Y)
+ZZ = np.kron(Z, Z)
+ZX = np.kron(Z, X)
+
+PAULIS = {"I": I2, "X": X, "Y": Y, "Z": Z}
+
+
+# ---------------------------------------------------------------------------
+# Parameterized gate factories
+# ---------------------------------------------------------------------------
+
+def _rotation(generator: np.ndarray, theta: float) -> np.ndarray:
+    """Return ``exp(-i/2 * theta * G)`` for an involutory generator ``G``.
+
+    For generators with ``G @ G = I`` (all Pauli words), the exponential has
+    the closed form ``cos(theta/2) I - i sin(theta/2) G`` — Eq. 4 of the
+    paper, generalized.
+    """
+    dim = generator.shape[0]
+    return (
+        np.cos(theta / 2.0) * np.eye(dim, dtype=np.complex128)
+        - 1j * np.sin(theta / 2.0) * generator
+    )
+
+
+def rx(theta: float) -> np.ndarray:
+    """Single-qubit rotation about the X axis: ``exp(-i theta X / 2)``."""
+    return _rotation(X, theta)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Single-qubit rotation about the Y axis: ``exp(-i theta Y / 2)``."""
+    return _rotation(Y, theta)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Single-qubit rotation about the Z axis: ``exp(-i theta Z / 2)``."""
+    return _rotation(Z, theta)
+
+
+def phase(lam: float) -> np.ndarray:
+    """Phase gate ``diag(1, e^{i lam})`` (a.k.a. U1/P)."""
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=np.complex128)
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    """General single-qubit unitary in the IBM U3 convention."""
+    ct, st = np.cos(theta / 2.0), np.sin(theta / 2.0)
+    return np.array(
+        [
+            [ct, -np.exp(1j * lam) * st],
+            [np.exp(1j * phi) * st, np.exp(1j * (phi + lam)) * ct],
+        ],
+        dtype=np.complex128,
+    )
+
+
+def rxx(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation: ``exp(-i theta XX / 2)``."""
+    return _rotation(XX, theta)
+
+
+def ryy(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation: ``exp(-i theta YY / 2)``."""
+    return _rotation(YY, theta)
+
+
+def rzz(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation: ``exp(-i theta ZZ / 2)``."""
+    return _rotation(ZZ, theta)
+
+
+def rzx(theta: float) -> np.ndarray:
+    """Two-qubit ZX rotation: ``exp(-i theta ZX / 2)``."""
+    return _rotation(ZX, theta)
+
+
+def crx(theta: float) -> np.ndarray:
+    """Controlled-RX (control = first wire)."""
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = rx(theta)
+    return out
+
+
+def cry(theta: float) -> np.ndarray:
+    """Controlled-RY (control = first wire)."""
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = ry(theta)
+    return out
+
+
+def crz(theta: float) -> np.ndarray:
+    """Controlled-RZ (control = first wire)."""
+    out = np.eye(4, dtype=np.complex128)
+    out[2:, 2:] = rz(theta)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Gate registry
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: Canonical lowercase gate name.
+        num_wires: Number of qubits the gate acts on.
+        num_params: Number of real parameters (0 for fixed gates).
+        matrix_fn: Callable mapping ``*params`` to the unitary matrix.
+            For fixed gates this ignores its (empty) arguments.
+        shift_rule: True when the two-term parameter-shift rule of Eq. 2
+            (shift ``±pi/2``, scale ``1/2``) yields the exact derivative.
+        generator: Pauli-word label of the Hermitian generator, when the
+            gate is ``exp(-i theta G / 2)`` — used by tests and by the
+            adjoint differentiation engine.
+    """
+
+    name: str
+    num_wires: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+    shift_rule: bool = False
+    generator: str | None = None
+
+    def matrix(self, *params: float) -> np.ndarray:
+        """Return the unitary for the given parameter values."""
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name!r} takes {self.num_params} parameter(s), "
+                f"got {len(params)}"
+            )
+        return self.matrix_fn(*params)
+
+
+def _fixed(matrix: np.ndarray) -> Callable[..., np.ndarray]:
+    def factory() -> np.ndarray:
+        """Return the gate's constant matrix."""
+        return matrix
+
+    return factory
+
+
+GATES: dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("i", 1, 0, _fixed(I2)),
+        GateSpec("x", 1, 0, _fixed(X)),
+        GateSpec("y", 1, 0, _fixed(Y)),
+        GateSpec("z", 1, 0, _fixed(Z)),
+        GateSpec("h", 1, 0, _fixed(H)),
+        GateSpec("s", 1, 0, _fixed(S)),
+        GateSpec("sdg", 1, 0, _fixed(SDG)),
+        GateSpec("t", 1, 0, _fixed(T)),
+        GateSpec("tdg", 1, 0, _fixed(TDG)),
+        GateSpec("sx", 1, 0, _fixed(SX)),
+        GateSpec("cx", 2, 0, _fixed(CX)),
+        GateSpec("cz", 2, 0, _fixed(CZ)),
+        GateSpec("swap", 2, 0, _fixed(SWAP)),
+        GateSpec("rx", 1, 1, rx, shift_rule=True, generator="X"),
+        GateSpec("ry", 1, 1, ry, shift_rule=True, generator="Y"),
+        GateSpec("rz", 1, 1, rz, shift_rule=True, generator="Z"),
+        GateSpec("rxx", 2, 1, rxx, shift_rule=True, generator="XX"),
+        GateSpec("ryy", 2, 1, ryy, shift_rule=True, generator="YY"),
+        GateSpec("rzz", 2, 1, rzz, shift_rule=True, generator="ZZ"),
+        GateSpec("rzx", 2, 1, rzx, shift_rule=True, generator="ZX"),
+        GateSpec("phase", 1, 1, phase),
+        GateSpec("u3", 1, 3, u3),
+        GateSpec("crx", 2, 1, crx),
+        GateSpec("cry", 2, 1, cry),
+        GateSpec("crz", 2, 1, crz),
+    ]
+}
+
+#: Names of gates that the parameter-shift engine may differentiate.
+SHIFT_RULE_GATES = frozenset(n for n, s in GATES.items() if s.shift_rule)
+
+
+def get_gate(name: str) -> GateSpec:
+    """Look up a gate spec by (case-insensitive) name.
+
+    Raises:
+        KeyError: if the gate name is unknown.
+    """
+    key = name.lower()
+    if key not in GATES:
+        raise KeyError(f"unknown gate {name!r}; known: {sorted(GATES)}")
+    return GATES[key]
+
+
+def pauli_word_matrix(word: str) -> np.ndarray:
+    """Return the matrix of a Pauli word such as ``"ZZ"`` or ``"ZX"``."""
+    if not word:
+        raise ValueError("empty Pauli word")
+    out = PAULIS[word[0].upper()]
+    for char in word[1:]:
+        out = np.kron(out, PAULIS[char.upper()])
+    return out
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check ``M @ M.conj().T == I`` within tolerance."""
+    dim = matrix.shape[0]
+    return bool(
+        matrix.shape == (dim, dim)
+        and np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=atol)
+    )

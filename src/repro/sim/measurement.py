@@ -1,0 +1,124 @@
+"""Measurement post-processing: counts -> expectations, readout confusion.
+
+The paper reads out per-qubit Pauli-Z expectation values from 1024-shot
+measurement counts (Sec. 2, "qubit readout").  These helpers convert between
+bitstring count dictionaries, probability vectors, and expectation vectors,
+and model readout (assignment) error via per-qubit confusion matrices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def counts_to_probabilities(
+    counts: Mapping[str, int], n_qubits: int
+) -> np.ndarray:
+    """Normalize a counts dict into a length-2^n probability vector."""
+    probs = np.zeros(2**n_qubits, dtype=np.float64)
+    total = 0
+    for bits, count in counts.items():
+        if len(bits) != n_qubits or set(bits) - {"0", "1"}:
+            raise ValueError(f"invalid bitstring {bits!r}")
+        if count < 0:
+            raise ValueError(f"negative count for {bits!r}")
+        probs[int(bits, 2)] += count
+        total += count
+    if total == 0:
+        raise ValueError("counts are empty")
+    return probs / total
+
+
+def expectation_z_from_counts(
+    counts: Mapping[str, int], n_qubits: int
+) -> np.ndarray:
+    """Per-qubit <Z> estimates from measurement counts.
+
+    ``<Z_k> = P(bit k = 0) - P(bit k = 1)``, matching the paper's readout
+    convention (|0> -> +1, |1> -> -1).
+    """
+    probs = counts_to_probabilities(counts, n_qubits).reshape(
+        (2,) * n_qubits
+    )
+    out = np.empty(n_qubits, dtype=np.float64)
+    for k in range(n_qubits):
+        axes = tuple(a for a in range(n_qubits) if a != k)
+        marginal = probs.sum(axis=axes)
+        out[k] = marginal[0] - marginal[1]
+    return out
+
+
+def expectation_z_from_probabilities(probs: np.ndarray) -> np.ndarray:
+    """Per-qubit <Z> from an exact probability vector of length 2^n."""
+    probs = np.asarray(probs, dtype=np.float64)
+    n_qubits = int(np.log2(probs.size))
+    if 2**n_qubits != probs.size:
+        raise ValueError("probability vector length is not a power of two")
+    tensor = probs.reshape((2,) * n_qubits)
+    out = np.empty(n_qubits, dtype=np.float64)
+    for k in range(n_qubits):
+        axes = tuple(a for a in range(n_qubits) if a != k)
+        marginal = tensor.sum(axis=axes)
+        out[k] = marginal[0] - marginal[1]
+    return out
+
+
+def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:
+    """Single-qubit assignment-error matrix.
+
+    ``M[i, j] = P(measured i | prepared j)``; ``p01`` is the probability of
+    reading 0 when the qubit was 1, ``p10`` of reading 1 when it was 0.
+    """
+    for p in (p01, p10):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("readout error probabilities must be in [0, 1]")
+    return np.array([[1.0 - p10, p01], [p10, 1.0 - p01]], dtype=np.float64)
+
+
+def apply_readout_error(
+    probs: np.ndarray, confusions: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Push true outcome probabilities through per-qubit confusion matrices.
+
+    Args:
+        probs: Length-2^n vector of true measurement probabilities.
+        confusions: One 2x2 confusion matrix per qubit (qubit 0 first).
+
+    Returns:
+        Length-2^n vector of *observed* outcome probabilities.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    n_qubits = len(confusions)
+    if probs.size != 2**n_qubits:
+        raise ValueError(
+            f"probability vector length {probs.size} does not match "
+            f"{n_qubits} confusion matrices"
+        )
+    tensor = probs.reshape((2,) * n_qubits)
+    for qubit, confusion in enumerate(confusions):
+        confusion = np.asarray(confusion, dtype=np.float64)
+        if confusion.shape != (2, 2):
+            raise ValueError("confusion matrices must be 2x2")
+        tensor = np.tensordot(confusion, tensor, axes=([1], [qubit]))
+        tensor = np.moveaxis(tensor, 0, qubit)
+    out = tensor.reshape(-1)
+    out[out < 0] = 0.0
+    return out / out.sum()
+
+
+def sample_from_probabilities(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> dict[str, int]:
+    """Draw ``shots`` multinomial samples; returns a counts dict."""
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    probs = np.asarray(probs, dtype=np.float64)
+    probs = probs / probs.sum()
+    n_qubits = int(np.log2(probs.size))
+    outcomes = rng.multinomial(shots, probs)
+    counts: dict[str, int] = {}
+    for index in np.nonzero(outcomes)[0]:
+        counts[format(index, f"0{n_qubits}b")] = int(outcomes[index])
+    return counts

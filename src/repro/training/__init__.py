@@ -1,0 +1,32 @@
+"""PQC on-chip training: config, engine, heads, history, evaluation."""
+
+from repro.training.budget import (
+    TrainingBudget,
+    predict_budget,
+    predict_walltime_seconds,
+)
+from repro.training.config import TrainingConfig
+from repro.training.engine import TrainingEngine
+from repro.training.evaluator import evaluate_accuracy, predict_logits
+from repro.training.heads import (
+    expectation_grad_from_logit_grad,
+    head_matrix,
+    logits_from_expectations,
+)
+from repro.training.history import EvalRecord, StepRecord, TrainingHistory
+
+__all__ = [
+    "EvalRecord",
+    "StepRecord",
+    "TrainingBudget",
+    "TrainingConfig",
+    "TrainingEngine",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "expectation_grad_from_logit_grad",
+    "head_matrix",
+    "logits_from_expectations",
+    "predict_budget",
+    "predict_walltime_seconds",
+    "predict_logits",
+]

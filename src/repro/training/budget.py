@@ -1,0 +1,151 @@
+"""Training budget planning: predict circuit counts and device wall time.
+
+Fig. 6's x-axis is the number of inferences (circuit executions) — the
+real currency of on-chip training, where queue plus execution time
+dominates cost.  This module predicts that budget *before* a run from
+the config alone, so users can size experiments the way the paper sizes
+its 13.9k/30k-inference comparisons, and tests can cross-check the
+TrainingEngine's metered counts against the closed-form model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuits.ansatz import get_architecture
+from repro.hardware.runtime_model import QuantumRuntimeModel
+from repro.noise.calibration import DeviceCalibration
+from repro.pruning.samplers import keep_count
+from repro.training.config import TrainingConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingBudget:
+    """Predicted cost of one training run.
+
+    Attributes:
+        gradient_circuits: Shifted-circuit executions for Jacobians.
+        forward_circuits: Unshifted forward-pass executions.
+        evaluation_circuits: Validation executions.
+        total_circuits: Sum of the above.
+        total_shots: Total measurement shots.
+    """
+
+    gradient_circuits: int
+    forward_circuits: int
+    evaluation_circuits: int
+    total_shots: int
+
+    @property
+    def total_circuits(self) -> int:
+        """Gradient + forward + evaluation circuits."""
+        return (
+            self.gradient_circuits
+            + self.forward_circuits
+            + self.evaluation_circuits
+        )
+
+
+def _evaluations_in(config: TrainingConfig) -> int:
+    """How many validation evaluations a run performs."""
+    if config.eval_every <= 0:
+        return 1  # only the final evaluation
+    count = config.steps // config.eval_every
+    if config.steps % config.eval_every != 0:
+        count += 1  # the engine always evaluates at the last step
+    return count
+
+
+def predict_budget(
+    config: TrainingConfig, val_size: int | None = None
+) -> TrainingBudget:
+    """Closed-form circuit/shot budget of a run (Alg. 1 accounting).
+
+    Per step: ``batch`` forward circuits plus, for parameter-shift
+    gradients, ``2 * batch * k_t`` shifted circuits where ``k_t`` is the
+    number of selected parameters (all ``n`` in accumulation steps,
+    ``keep_count(n, r)`` in pruning steps).  Adjoint runs cost only the
+    forward passes.
+
+    Args:
+        config: The run configuration.
+        val_size: Validation-set size used per evaluation; defaults to
+            ``config.eval_size`` (required if that is ``None``).
+    """
+    architecture = get_architecture(config.task)
+    n_params = architecture.num_parameters
+
+    per_eval = val_size if val_size is not None else config.eval_size
+    if per_eval is None:
+        raise ValueError(
+            "pass val_size or set config.eval_size to predict the "
+            "evaluation budget"
+        )
+
+    forward = config.steps * config.batch_size
+    gradient = 0
+    if config.gradient_engine in ("parameter_shift", "finite_difference"):
+        if config.pruning is None:
+            selected_per_stage = [n_params] * 1
+            stage_length = 1
+        else:
+            hyper = config.pruning
+            stage_length = hyper.stage_length
+            selected_per_stage = (
+                [n_params] * hyper.accumulation_window
+                + [keep_count(n_params, hyper.ratio)]
+                * hyper.pruning_window
+            )
+        for step in range(config.steps):
+            selected = selected_per_stage[step % stage_length]
+            gradient += 2 * selected * config.batch_size
+    elif config.gradient_engine == "spsa":
+        gradient = config.steps * config.batch_size * 2 * 4  # 4 samples
+    # adjoint: zero gradient circuits.
+
+    evaluations = _evaluations_in(config) * per_eval
+    total_shots = (
+        (forward + gradient) * config.shots
+        + evaluations * config.eval_shots
+    )
+    return TrainingBudget(
+        gradient_circuits=gradient,
+        forward_circuits=forward,
+        evaluation_circuits=evaluations,
+        total_shots=total_shots,
+    )
+
+
+def predict_walltime_seconds(
+    config: TrainingConfig,
+    calibration: DeviceCalibration,
+    val_size: int | None = None,
+    queue_seconds_per_job: float = 0.0,
+    jobs: int | None = None,
+) -> float:
+    """Estimated device wall time for a run.
+
+    Uses the per-device :class:`QuantumRuntimeModel` with the task
+    circuit's gate counts; optional queue time is added per submitted
+    job (one job per training step by default).
+    """
+    architecture = get_architecture(config.task)
+    ansatz = architecture.build_ansatz()
+    encoder = architecture.encode([0.0] * architecture.n_features)
+    counts: dict[str, int] = {}
+    for source in (encoder, ansatz):
+        for name, count in source.count_ops().items():
+            counts[name] = counts.get(name, 0) + count
+    n_2q = sum(
+        count for name, count in counts.items()
+        if name in ("cx", "cz", "swap", "rzz", "rxx", "ryy", "rzx")
+    )
+    n_sq = sum(counts.values()) - n_2q
+
+    budget = predict_budget(config, val_size=val_size)
+    model = QuantumRuntimeModel(calibration)
+    execute = model.batch_seconds(
+        budget.total_circuits, n_sq, n_2q, shots=config.shots
+    )
+    n_jobs = jobs if jobs is not None else config.steps
+    return execute + queue_seconds_per_job * n_jobs

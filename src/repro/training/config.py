@@ -1,0 +1,70 @@
+"""Training configuration for the QOC TrainingEngine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.pruning.schedule import PruningHyperparams
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingConfig:
+    """Everything one training run needs (Alg. 1's inputs, plus plumbing).
+
+    Attributes:
+        task: Benchmark task name (``mnist2`` ... ``vowel4``).
+        steps: Total optimization steps (Alg. 1 counts
+            ``S * (w_a + w_p)`` steps; ``steps`` is that product).
+        batch_size: Mini-batch size per step.
+        shots: Shots per circuit execution (paper: 1024).
+        gradient_engine: ``"parameter_shift"`` (on-chip), ``"adjoint"``
+            (classical exact), ``"finite_difference"`` or ``"spsa"``
+            (baselines).
+        pruning: ``None`` disables pruning (QC-Train baseline); a
+            :class:`PruningHyperparams` enables it (QC-Train-PGP).
+        pruning_sampler: ``"probabilistic"`` or ``"deterministic"``.
+        optimizer: ``"adam"`` (paper default), ``"sgd"``, ``"momentum"``.
+        lr_max / lr_min: Cosine schedule endpoints (paper: 0.3 -> 0.03).
+        init_scale: Initial parameter range ``[-s, s]``.
+        seed: Master seed (data sampling, init, pruner).
+        eval_every: Validation cadence in steps (0 = only at the end).
+        eval_size: Cap on validation examples per evaluation
+            (``None`` = full validation set).
+        eval_shots: Shots per validation circuit.
+    """
+
+    task: str = "mnist2"
+    steps: int = 30
+    batch_size: int = 8
+    shots: int = 1024
+    gradient_engine: str = "parameter_shift"
+    pruning: PruningHyperparams | None = None
+    pruning_sampler: str = "probabilistic"
+    optimizer: str = "adam"
+    lr_max: float = 0.3
+    lr_min: float = 0.03
+    init_scale: float = 0.1
+    seed: int = 0
+    eval_every: int = 10
+    eval_size: int | None = None
+    eval_shots: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.shots < 1:
+            raise ValueError("shots must be positive")
+        if self.gradient_engine not in (
+            "parameter_shift", "adjoint", "finite_difference", "spsa"
+        ):
+            raise ValueError(
+                f"unknown gradient engine {self.gradient_engine!r}"
+            )
+        if self.eval_every < 0:
+            raise ValueError("eval_every must be >= 0")
+
+    def with_(self, **overrides) -> "TrainingConfig":
+        """Functional update: a copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)

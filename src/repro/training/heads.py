@@ -1,0 +1,65 @@
+"""Measurement-to-logits heads (Sec. 4.1, "output of our quantum circuits").
+
+From the four per-qubit Pauli-Z expectations:
+
+* **4-class** tasks use the four expectation values directly as logits;
+* **2-class** tasks sum qubits 0+1 and qubits 2+3 into two logits.
+
+Both heads are linear maps ``logits = A @ expectations``, so their exact
+Jacobian is the constant matrix ``A`` — which is all backpropagation needs
+to chain the classical loss gradient into the quantum Jacobian (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def head_matrix(n_qubits: int, n_classes: int) -> np.ndarray:
+    """The linear head ``A`` with shape ``(n_classes, n_qubits)``."""
+    if n_classes == n_qubits:
+        return np.eye(n_qubits, dtype=np.float64)
+    if n_classes * 2 == n_qubits:
+        matrix = np.zeros((n_classes, n_qubits), dtype=np.float64)
+        for row in range(n_classes):
+            matrix[row, 2 * row] = 1.0
+            matrix[row, 2 * row + 1] = 1.0
+        return matrix
+    raise ValueError(
+        f"no head defined for {n_classes} classes on {n_qubits} qubits "
+        f"(supported: n_classes == n_qubits or n_qubits == 2*n_classes)"
+    )
+
+
+def logits_from_expectations(
+    expectations: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Map per-qubit expectations to class logits.
+
+    Args:
+        expectations: ``(n_qubits,)`` or ``(batch, n_qubits)``.
+        n_classes: Output class count.
+    """
+    expectations = np.asarray(expectations, dtype=np.float64)
+    single = expectations.ndim == 1
+    if single:
+        expectations = expectations[None, :]
+    matrix = head_matrix(expectations.shape[1], n_classes)
+    logits = expectations @ matrix.T
+    return logits[0] if single else logits
+
+
+def expectation_grad_from_logit_grad(
+    logit_grad: np.ndarray, n_qubits: int
+) -> np.ndarray:
+    """Pull a gradient w.r.t. logits back to the expectation vector.
+
+    ``dL/df = A^T dL/dlogits`` — the backward pass of the linear head.
+    """
+    logit_grad = np.asarray(logit_grad, dtype=np.float64)
+    single = logit_grad.ndim == 1
+    if single:
+        logit_grad = logit_grad[None, :]
+    matrix = head_matrix(n_qubits, logit_grad.shape[1])
+    grads = logit_grad @ matrix
+    return grads[0] if single else grads

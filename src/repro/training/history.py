@@ -1,0 +1,91 @@
+"""Training history: the record behind Fig. 6's accuracy-vs-#inferences
+curves and Table 1's final accuracies."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class StepRecord:
+    """Bookkeeping for one optimization step."""
+
+    step: int
+    loss: float
+    lr: float
+    n_selected: int
+    phase: str
+    inferences: int  # cumulative training-backend circuit count
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalRecord:
+    """One validation evaluation."""
+
+    step: int
+    accuracy: float
+    inferences: int  # cumulative *training* inferences at eval time
+
+
+class TrainingHistory:
+    """Append-only log of step and evaluation records."""
+
+    def __init__(self):
+        self.steps: list[StepRecord] = []
+        self.evals: list[EvalRecord] = []
+
+    def record_step(self, record: StepRecord) -> None:
+        """Append one optimization-step record."""
+        self.steps.append(record)
+
+    def record_eval(self, record: EvalRecord) -> None:
+        """Append one validation record."""
+        self.evals.append(record)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy of the last evaluation (raises if none happened)."""
+        if not self.evals:
+            raise ValueError("no evaluations recorded")
+        return self.evals[-1].accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        """Highest validation accuracy seen."""
+        if not self.evals:
+            raise ValueError("no evaluations recorded")
+        return max(record.accuracy for record in self.evals)
+
+    def inferences_to_reach(self, accuracy: float) -> int | None:
+        """Training inferences spent when ``accuracy`` was first reached.
+
+        The Fig. 6 headline metric ("PGP only takes 13.9k inferences to
+        reach the peak accuracy...").  Returns ``None`` if never reached.
+        """
+        for record in self.evals:
+            if record.accuracy >= accuracy:
+                return record.inferences
+        return None
+
+    def accuracy_curve(self) -> tuple[list[int], list[float]]:
+        """``(inferences, accuracy)`` series for plotting Fig. 6."""
+        return (
+            [record.inferences for record in self.evals],
+            [record.accuracy for record in self.evals],
+        )
+
+    def loss_curve(self) -> tuple[list[int], list[float]]:
+        """``(step, loss)`` series."""
+        return (
+            [record.step for record in self.steps],
+            [record.loss for record in self.steps],
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly dump of the full history."""
+        return {
+            "steps": [dataclasses.asdict(r) for r in self.steps],
+            "evals": [dataclasses.asdict(r) for r in self.evals],
+        }

@@ -1,0 +1,33 @@
+"""VQE extension: the paper's techniques applied beyond QNN classification."""
+
+from repro.vqe.engine import (
+    VqeEngine,
+    VqeStepRecord,
+    hardware_efficient_ansatz,
+)
+from repro.vqe.hamiltonian import (
+    Hamiltonian,
+    PauliTerm,
+    heisenberg_xxz,
+    transverse_field_ising,
+)
+from repro.vqe.measurement import (
+    basis_rotation_circuit,
+    circuits_per_energy,
+    measure_hamiltonian,
+    pauli_product_expectation,
+)
+
+__all__ = [
+    "Hamiltonian",
+    "PauliTerm",
+    "VqeEngine",
+    "VqeStepRecord",
+    "basis_rotation_circuit",
+    "circuits_per_energy",
+    "hardware_efficient_ansatz",
+    "heisenberg_xxz",
+    "measure_hamiltonian",
+    "pauli_product_expectation",
+    "transverse_field_ising",
+]

@@ -1,0 +1,199 @@
+"""VQE with parameter-shift gradients and probabilistic gradient pruning.
+
+The QOC recipe transplanted from QNN classification to eigensolving: the
+loss is the measured energy ``<H>``, its gradient comes from the same
+two-point shift rule (energy is a fixed linear combination of circuit
+expectations, so Eq. 2 applies term-wise), and PGP skips the energy-pair
+evaluations of parameters whose accumulated gradient magnitude is small.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.gradients.parameter_shift import SHIFT
+from repro.ml.optim import make_optimizer
+from repro.ml.schedulers import CosineScheduler
+from repro.pruning.pruner import GradientPruner, NoPruner
+from repro.pruning.schedule import PruningHyperparams
+from repro.vqe.hamiltonian import Hamiltonian
+from repro.vqe.measurement import circuits_per_energy, measure_hamiltonian
+
+
+@dataclasses.dataclass(frozen=True)
+class VqeStepRecord:
+    """One VQE optimization step."""
+
+    step: int
+    energy: float
+    n_selected: int
+    inferences: int
+
+
+class VqeEngine:
+    """Minimizes ``<H>`` over a parameterized ansatz on a backend.
+
+    Args:
+        hamiltonian: Target observable.
+        ansatz: Trainable circuit (its current parameters are the start).
+        backend: Execution backend (noisy or ideal).
+        shots: Shots per measured circuit.
+        optimizer: Optimizer name (default Adam, as in the paper).
+        lr_max / lr_min: Cosine schedule endpoints.
+        steps: Total optimization steps.
+        pruning: Optional PGP hyper-parameters.
+        pruning_sampler: ``"probabilistic"`` or ``"deterministic"``.
+        seed: Pruner seed.
+    """
+
+    def __init__(
+        self,
+        hamiltonian: Hamiltonian,
+        ansatz: QuantumCircuit,
+        backend,
+        shots: int = 1024,
+        optimizer: str = "adam",
+        lr_max: float = 0.1,
+        lr_min: float = 0.01,
+        steps: int = 50,
+        pruning: PruningHyperparams | None = None,
+        pruning_sampler: str = "probabilistic",
+        seed: int = 0,
+    ):
+        if ansatz.n_qubits != hamiltonian.n_qubits:
+            raise ValueError("ansatz/Hamiltonian width mismatch")
+        if ansatz.num_parameters == 0:
+            raise ValueError("ansatz has no trainable parameters")
+        self.hamiltonian = hamiltonian
+        self.ansatz = ansatz.copy()
+        self.backend = backend
+        self.shots = int(shots)
+        self.steps = int(steps)
+        self.theta = ansatz.parameters
+        self.optimizer = make_optimizer(optimizer, lr=lr_max)
+        self.scheduler = CosineScheduler(
+            self.optimizer, self.steps, lr_max=lr_max, lr_min=lr_min
+        )
+        n_params = ansatz.num_parameters
+        if pruning is None:
+            self.pruner: GradientPruner | NoPruner = NoPruner(n_params)
+        else:
+            self.pruner = GradientPruner(
+                n_params, hyperparams=pruning,
+                sampler=pruning_sampler, seed=seed,
+            )
+        self.records: list[VqeStepRecord] = []
+        self._step = 0
+
+    # -- energy and gradients ---------------------------------------------
+
+    def energy(self, theta: np.ndarray | None = None) -> float:
+        """Measured ``<H>`` at the given (default: current) parameters."""
+        circuit = self.ansatz.bound(
+            self.theta if theta is None else theta
+        )
+        return measure_hamiltonian(
+            circuit, self.hamiltonian, self.backend, shots=self.shots
+        )
+
+    def gradient(self, param_indices: np.ndarray) -> np.ndarray:
+        """Parameter-shift gradient of the energy for selected params."""
+        grads = np.zeros_like(self.theta)
+        circuit = self.ansatz.bound(self.theta)
+        for index in param_indices:
+            for position in circuit.occurrences_of(int(index)):
+                energy_plus = measure_hamiltonian(
+                    circuit.shifted(position, +SHIFT),
+                    self.hamiltonian, self.backend, shots=self.shots,
+                    purpose="vqe-gradient",
+                )
+                energy_minus = measure_hamiltonian(
+                    circuit.shifted(position, -SHIFT),
+                    self.hamiltonian, self.backend, shots=self.shots,
+                    purpose="vqe-gradient",
+                )
+                grads[index] += 0.5 * (energy_plus - energy_minus)
+        return grads
+
+    # -- optimization loop ----------------------------------------------------
+
+    def step(self) -> VqeStepRecord:
+        """One optimization step with optional gradient pruning."""
+        selected = self.pruner.select()
+        mask = np.zeros(self.theta.size, dtype=bool)
+        mask[selected] = True
+        grads = self.gradient(selected)
+        self.pruner.observe(grads)
+        self.scheduler.step()
+        self.optimizer.step(self.theta, grads, mask)
+        energy = self.energy()
+        record = VqeStepRecord(
+            step=self._step,
+            energy=energy,
+            n_selected=int(selected.size),
+            inferences=self.backend.meter.circuits,
+        )
+        self.records.append(record)
+        self._step += 1
+        return record
+
+    def run(self, verbose: bool = False) -> list[VqeStepRecord]:
+        """Run the full optimization; returns the step records."""
+        for _ in range(self.steps):
+            record = self.step()
+            if verbose:
+                print(
+                    f"step {record.step + 1:3d}/{self.steps}  "
+                    f"E = {record.energy:+.4f}  "
+                    f"({record.n_selected} grads, "
+                    f"{record.inferences} circuits)"
+                )
+        return self.records
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def best_energy(self) -> float:
+        """Lowest measured energy across all steps."""
+        if not self.records:
+            raise ValueError("no steps recorded")
+        return min(record.energy for record in self.records)
+
+    def relative_error(self) -> float:
+        """|best - exact| / |exact| against exact diagonalization."""
+        exact = self.hamiltonian.ground_state_energy()
+        if exact == 0:
+            raise ValueError("exact ground energy is zero")
+        return abs(self.best_energy - exact) / abs(exact)
+
+    def circuits_per_step_full(self) -> int:
+        """Circuit cost of one unpruned step (gradients + energy)."""
+        per_energy = circuits_per_energy(self.hamiltonian)
+        occurrences = sum(
+            len(self.ansatz.occurrences_of(i))
+            for i in range(self.ansatz.num_parameters)
+        )
+        return per_energy * (2 * occurrences + 1)
+
+
+def hardware_efficient_ansatz(
+    n_qubits: int, n_layers: int = 2, seed: int = 0
+) -> QuantumCircuit:
+    """RY-RZ + CZ-ladder ansatz, the standard VQE choice.
+
+    Parameters are initialized to small random angles.
+    """
+    from repro.circuits.layers import add_cz_layer, add_ry_layer, add_rz_layer
+
+    circuit = QuantumCircuit(n_qubits)
+    index = 0
+    for _ in range(n_layers):
+        index = add_ry_layer(circuit, index)
+        index = add_rz_layer(circuit, index)
+        add_cz_layer(circuit, index)
+    rng = np.random.default_rng(seed)
+    circuit.bind(rng.uniform(-0.1, 0.1, circuit.num_parameters))
+    return circuit

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_architecture
+from repro.hardware import IdealBackend, NoisyBackend
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ideal_backend() -> IdealBackend:
+    return IdealBackend(exact=True, seed=0)
+
+
+@pytest.fixture
+def sampled_backend() -> IdealBackend:
+    return IdealBackend(exact=False, seed=0)
+
+
+@pytest.fixture
+def santiago_backend() -> NoisyBackend:
+    return NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+
+
+@pytest.fixture
+def mnist2_circuit(rng):
+    """A bound MNIST-2 circuit with random data and parameters."""
+    arch = get_architecture("mnist2")
+    x = rng.uniform(0, np.pi, arch.n_features)
+    theta = rng.uniform(-np.pi, np.pi, arch.num_parameters)
+    return arch.full_circuit(x, theta)
+
+
+@pytest.fixture
+def mnist4_circuit(rng):
+    arch = get_architecture("mnist4")
+    x = rng.uniform(0, np.pi, arch.n_features)
+    theta = rng.uniform(-np.pi, np.pi, arch.num_parameters)
+    return arch.full_circuit(x, theta)

@@ -1,0 +1,101 @@
+"""Tests for adjoint-mode differentiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, build_layered_ansatz
+from repro.sim import Statevector, adjoint_jacobian
+from repro.sim.adjoint import adjoint_expectation_and_jacobian
+
+
+def numeric_jacobian(circuit, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference reference Jacobian."""
+    theta = circuit.parameters
+    n_params = circuit.num_parameters
+    out = np.zeros((circuit.n_qubits, n_params))
+    for index in range(n_params):
+        plus = theta.copy()
+        plus[index] += eps
+        minus = theta.copy()
+        minus[index] -= eps
+        f_plus = Statevector(circuit.n_qubits).evolve(
+            circuit.bound(plus)
+        ).expectation_z()
+        f_minus = Statevector(circuit.n_qubits).evolve(
+            circuit.bound(minus)
+        ).expectation_z()
+        out[:, index] = (f_plus - f_minus) / (2 * eps)
+    return out
+
+
+LAYER_SETS = st.lists(
+    st.sampled_from(["rx", "ry", "rz", "rzz", "rxx", "rzx", "cz"]),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestAdjointCorrectness:
+    @given(layers=LAYER_SETS, seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numeric_jacobian(self, layers, seed):
+        circuit = build_layered_ansatz(3, layers)
+        if circuit.num_parameters == 0:
+            return  # all-CZ circuits have nothing to differentiate
+        rng = np.random.default_rng(seed)
+        circuit.bind(rng.uniform(-np.pi, np.pi, circuit.num_parameters))
+        analytic = adjoint_jacobian(circuit)
+        numeric = numeric_jacobian(circuit)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_with_fixed_encoder_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("ry", 0, 0.4).add("rz", 1, -0.2)  # fixed encoding
+        circuit.add_trainable("rx", 0, 0)
+        circuit.add_trainable("rzz", (0, 1), 1)
+        circuit.bind([0.8, -0.5])
+        assert np.allclose(
+            adjoint_jacobian(circuit), numeric_jacobian(circuit), atol=1e-6
+        )
+
+    def test_shared_parameter_occurrences_summed(self):
+        """A parameter in two gates gets the sum of both contributions."""
+        shared = QuantumCircuit(1)
+        shared.add_trainable("rx", 0, 0)
+        shared.add_trainable("rx", 0, 0)
+        shared.bind([0.3])
+        single = QuantumCircuit(1)
+        single.add_trainable("rx", 0, 0)
+        single.bind([0.6])
+        jac_shared = adjoint_jacobian(shared)
+        jac_single = adjoint_jacobian(single)
+        # d/da f(2a) = 2 f'(2a): shared gradient is twice the single-gate
+        # gradient evaluated at the same total angle.
+        assert np.allclose(jac_shared, 2 * jac_single, atol=1e-10)
+
+    def test_single_rotation_closed_form(self):
+        """d<Z>/dtheta for RY on |0> is -sin(theta)."""
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("ry", 0, 0)
+        circuit.bind([0.9])
+        jac = adjoint_jacobian(circuit)
+        assert np.isclose(jac[0, 0], -np.sin(0.9), atol=1e-12)
+
+    def test_rejects_non_shift_rule_trainables(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("phase", 0, 0)
+        circuit.bind([0.5])
+        with pytest.raises(ValueError, match="Pauli-rotation"):
+            adjoint_jacobian(circuit)
+
+    def test_expectation_and_jacobian_consistent(self):
+        circuit = build_layered_ansatz(2, ["rzz", "ry"])
+        circuit.bind(np.linspace(-1, 1, circuit.num_parameters))
+        expectations, jacobian = adjoint_expectation_and_jacobian(circuit)
+        direct = Statevector(2).evolve(circuit).expectation_z()
+        assert np.allclose(expectations, direct)
+        assert jacobian.shape == (2, circuit.num_parameters)

@@ -1,0 +1,185 @@
+"""Tests for the amplitude encoder and the gradient-variance analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.variance import (
+    VarianceStudy,
+    shots_needed_for_relative_error,
+    variance_vs_depth,
+    variance_vs_qubits,
+)
+from repro.circuits import QuantumCircuit
+from repro.circuits.amplitude import (
+    encode_amplitude,
+    encode_amplitude16,
+    multiplexed_ry,
+)
+from repro.sim import Statevector
+
+
+class TestMultiplexedRy:
+    def test_no_controls_is_plain_ry(self):
+        circuit = QuantumCircuit(1)
+        multiplexed_ry(circuit, [0.7], [], 0)
+        state = Statevector(1).evolve(circuit)
+        reference = Statevector(1).apply_gate("ry", [0], 0.7)
+        assert np.isclose(state.fidelity(reference), 1.0)
+
+    def test_one_control_selects_angle(self):
+        """Control |0> applies angles[0]; control |1> applies angles[1]."""
+        angles = [0.4, 1.3]
+        for control_value, expected in ((0, 0.4), (1, 1.3)):
+            circuit = QuantumCircuit(2)
+            if control_value:
+                circuit.add("x", 0)
+            multiplexed_ry(circuit, angles, [0], 1)
+            state = Statevector(2).evolve(circuit)
+            reference = Statevector(2)
+            if control_value:
+                reference.apply_gate("x", [0])
+            reference.apply_gate("ry", [1], expected)
+            assert np.isclose(state.fidelity(reference), 1.0, atol=1e-12)
+
+    def test_two_controls_all_patterns(self):
+        angles = [0.2, 0.9, -0.5, 1.7]
+        for pattern in range(4):
+            circuit = QuantumCircuit(3)
+            if pattern & 2:
+                circuit.add("x", 0)
+            if pattern & 1:
+                circuit.add("x", 1)
+            multiplexed_ry(circuit, angles, [0, 1], 2)
+            state = Statevector(3).evolve(circuit)
+            reference = Statevector(3)
+            if pattern & 2:
+                reference.apply_gate("x", [0])
+            if pattern & 1:
+                reference.apply_gate("x", [1])
+            reference.apply_gate("ry", [2], angles[pattern])
+            assert np.isclose(
+                state.fidelity(reference), 1.0, atol=1e-12
+            ), pattern
+
+    def test_angle_count_checked(self):
+        with pytest.raises(ValueError, match="angles"):
+            multiplexed_ry(QuantumCircuit(2), [0.1], [0], 1)
+
+
+class TestAmplitudeEncoder:
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_prepares_normalized_amplitudes(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0, 1, 2**n)
+        circuit = encode_amplitude(x, n)
+        state = Statevector(n).evolve(circuit)
+        target = x / np.linalg.norm(x)
+        assert np.allclose(state.vector.real, target, atol=1e-10)
+        assert np.allclose(state.vector.imag, 0.0, atol=1e-10)
+
+    def test_probabilities_match_squared_data(self):
+        x = np.array([4.0, 0.0, 3.0, 0.0])
+        circuit = encode_amplitude(x, 2)
+        probs = Statevector(2).evolve(circuit).probabilities()
+        assert np.allclose(probs, [16 / 25, 0, 9 / 25, 0], atol=1e-12)
+
+    def test_zero_vector_gives_ground_state(self):
+        circuit = encode_amplitude(np.zeros(8), 3)
+        assert len(circuit) == 0
+        state = Statevector(3).evolve(circuit)
+        assert np.isclose(abs(state.vector[0]), 1.0)
+
+    def test_sparse_vectors(self):
+        x = np.zeros(16)
+        x[5] = 1.0
+        circuit = encode_amplitude(x, 4)
+        state = Statevector(4).evolve(circuit)
+        assert np.isclose(abs(state.vector[5]), 1.0, atol=1e-10)
+
+    def test_gate_budget(self):
+        """2^n - 1 RY gates for n qubits (dense input)."""
+        rng = np.random.default_rng(1)
+        circuit = encode_amplitude(rng.uniform(0.1, 1, 16), 4)
+        assert circuit.count_ops()["ry"] == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="values"):
+            encode_amplitude(np.ones(5), 2)
+        with pytest.raises(ValueError, match="non-negative"):
+            encode_amplitude(np.array([1.0, -1.0]), 1)
+        with pytest.raises(ValueError, match="4 qubits"):
+            encode_amplitude16(np.ones(16), n_qubits=3)
+
+    def test_image_pipeline_integration(self):
+        """Amplitude-encode pooled image features end to end."""
+        from repro.data import images_to_features, make_mnist_like
+
+        images, _ = make_mnist_like([3, 6], 4, seed=0)
+        features = images_to_features(images)
+        for row in features:
+            circuit = encode_amplitude16(row)
+            probs = Statevector(4).evolve(circuit).probabilities()
+            expected = row**2 / np.sum(row**2)
+            assert np.allclose(probs, expected, atol=1e-10)
+
+
+class TestVarianceAnalysis:
+    def test_variance_decays_with_qubits(self):
+        """The barren-plateau signature on the brick ansatz."""
+        study = variance_vs_qubits(
+            qubit_counts=[2, 4, 6], n_samples=60, seed=0
+        )
+        assert study.variances[0] > study.variances[-1]
+        assert study.decay_rate() < 1.0
+
+    def test_constant_depth_local_observable_no_plateau(self):
+        """Fixed-depth circuits with a local observable keep O(1)
+        gradient variance — the known barren-plateau escape hatch."""
+        study = variance_vs_qubits(
+            qubit_counts=[2, 4, 6], n_blocks=2, n_samples=60, seed=2
+        )
+        assert study.variances[-1] > 0.05
+
+    def test_depth_study_runs(self):
+        study = variance_vs_depth(
+            block_counts=[1, 3], n_qubits=3, n_samples=40, seed=1
+        )
+        assert len(study.variances) == 2
+        assert all(v >= 0 for v in study.variances)
+
+    def test_decay_rate_needs_positive_points(self):
+        study = VarianceStudy(
+            settings=(2, 4), variances=(0.0, 0.0), n_samples=10
+        )
+        with pytest.raises(ValueError):
+            study.decay_rate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            variance_vs_qubits(qubit_counts=[1, 2])
+        with pytest.raises(ValueError):
+            variance_vs_depth(block_counts=[0])
+
+
+class TestShotsThreshold:
+    def test_smaller_gradients_need_more_shots(self):
+        assert (
+            shots_needed_for_relative_error(0.01)
+            > shots_needed_for_relative_error(0.1)
+        )
+
+    def test_quadratic_scaling(self):
+        few = shots_needed_for_relative_error(0.2, relative_error=0.1)
+        many = shots_needed_for_relative_error(0.02, relative_error=0.1)
+        assert many == pytest.approx(100 * few, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shots_needed_for_relative_error(0.0)
+        with pytest.raises(ValueError):
+            shots_needed_for_relative_error(0.1, relative_error=1.5)

@@ -1,0 +1,83 @@
+"""Tests for the Fig. 2b / Fig. 2c analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    collect_gradient_pairs,
+    gradient_error_study,
+    noise_gap_study,
+    small_vs_large_error_ratio,
+)
+from repro.hardware import NoisyBackend
+
+
+class TestGradientErrorStudy:
+    def test_pairs_aligned(self):
+        backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        true, noisy = collect_gradient_pairs(
+            "mnist2", backend, n_samples=2, shots=512, seed=0
+        )
+        assert true.shape == noisy.shape
+        assert true.size == 2 * 4 * 8  # samples x qubits x params
+
+    def test_small_gradients_less_reliable(self):
+        """The Fig. 2c law: relative error grows as magnitude shrinks."""
+        backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        study = gradient_error_study(
+            "mnist2", backend, n_samples=5, shots=1024, seed=1, n_bins=6
+        )
+        ratio = small_vs_large_error_ratio(study)
+        assert ratio > 3.0
+
+    def test_noisier_device_has_larger_errors(self):
+        """Casablanca's curve sits above Santiago's (Fig. 2c legend).
+
+        Compared on identical gradient pairs via mean *absolute* error —
+        binned relative error is too bin-placement-sensitive for a strict
+        device ordering at small sample counts.
+        """
+        def mean_abs_error(device):
+            backend = NoisyBackend.from_device_name(device, seed=0)
+            true, noisy = collect_gradient_pairs(
+                "mnist2", backend, n_samples=4, shots=2048, seed=2
+            )
+            return np.abs(noisy - true).mean()
+
+        assert (
+            mean_abs_error("ibmq_casablanca")
+            > mean_abs_error("ibmq_santiago")
+        )
+
+    def test_binning_consistency(self):
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        study = gradient_error_study(
+            "mnist2", backend, n_samples=2, shots=256, seed=0, n_bins=5
+        )
+        assert study.counts.sum() == study.magnitudes.size
+        assert study.bin_centers.size == 5
+        assert np.all(np.diff(study.bin_edges) > 0)
+
+    def test_bad_bin_count(self):
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        with pytest.raises(ValueError):
+            gradient_error_study("mnist2", backend, n_bins=1)
+
+
+class TestNoiseGapStudy:
+    def test_runs_and_reports_gap(self):
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        result = noise_gap_study(
+            "mnist2", backend,
+            steps=6, batch_size=4, eval_every=3, eval_size=30, seed=0,
+            shots=512,
+        )
+        assert len(result.steps) == len(result.classical_accuracy)
+        assert len(result.steps) == len(result.quantum_accuracy)
+        assert all(0.0 <= a <= 1.0 for a in result.classical_accuracy)
+        assert np.isclose(
+            result.final_gap,
+            result.classical_accuracy[-1] - result.quantum_accuracy[-1],
+        )

@@ -1,0 +1,102 @@
+"""Tests for the per-task QNN architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import ARCHITECTURES, get_architecture
+
+
+class TestArchitectureTable:
+    def test_all_five_tasks_present(self):
+        assert set(ARCHITECTURES) == {
+            "mnist2", "mnist4", "fashion2", "fashion4", "vowel4"
+        }
+
+    @pytest.mark.parametrize(
+        "task,expected_params",
+        [
+            ("mnist2", 8),     # 1 RZZ + 1 RY layer
+            ("fashion2", 8),   # same ansatz as mnist2
+            ("mnist4", 36),    # 3 x (RX+RY+RZ+CZ)
+            ("fashion4", 24),  # 3 x (RZZ+RY)
+            ("vowel4", 16),    # 2 x (RZZ+RXX)
+        ],
+    )
+    def test_parameter_counts(self, task, expected_params):
+        assert get_architecture(task).num_parameters == expected_params
+
+    @pytest.mark.parametrize(
+        "task,n_classes",
+        [("mnist2", 2), ("fashion2", 2), ("mnist4", 4),
+         ("fashion4", 4), ("vowel4", 4)],
+    )
+    def test_class_counts(self, task, n_classes):
+        assert get_architecture(task).n_classes == n_classes
+
+    def test_all_use_four_qubits(self):
+        for architecture in ARCHITECTURES.values():
+            assert architecture.n_qubits == 4
+
+    def test_feature_counts(self):
+        assert get_architecture("mnist2").n_features == 16
+        assert get_architecture("vowel4").n_features == 10
+
+    def test_name_normalization(self):
+        assert get_architecture("MNIST-2") is get_architecture("mnist2")
+        assert get_architecture("fashion_4") is get_architecture("fashion4")
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError, match="unknown architecture"):
+            get_architecture("cifar10")
+
+
+class TestCircuitConstruction:
+    def test_full_circuit_composes_encoder_and_ansatz(self):
+        architecture = get_architecture("mnist2")
+        x = np.linspace(0, np.pi, 16)
+        theta = np.zeros(8)
+        circuit = architecture.full_circuit(x, theta)
+        # 16 encoder gates + 8 ansatz gates.
+        assert len(circuit) == 24
+        assert circuit.num_parameters == 8
+        circuit.validate()
+
+    def test_full_circuit_binds_theta(self):
+        architecture = get_architecture("vowel4")
+        theta = np.linspace(-1, 1, 16)
+        circuit = architecture.full_circuit(np.zeros(10), theta)
+        assert np.allclose(circuit.parameters, theta)
+
+    def test_init_parameters_range_and_reproducibility(self):
+        architecture = get_architecture("mnist4")
+        theta_a = architecture.init_parameters(
+            np.random.default_rng(9), scale=0.1
+        )
+        theta_b = architecture.init_parameters(
+            np.random.default_rng(9), scale=0.1
+        )
+        assert theta_a.shape == (36,)
+        assert np.all(np.abs(theta_a) <= 0.1)
+        assert np.allclose(theta_a, theta_b)
+
+    def test_build_ansatz_fresh_instances(self):
+        architecture = get_architecture("mnist2")
+        first = architecture.build_ansatz()
+        second = architecture.build_ansatz()
+        first.bind(np.ones(8))
+        assert np.allclose(second.parameters, np.zeros(8))
+
+    def test_different_data_different_expectations(self):
+        from repro.sim import Statevector
+
+        architecture = get_architecture("mnist2")
+        theta = np.full(8, 0.3)
+        exp_a = Statevector(4).evolve(
+            architecture.full_circuit(np.full(16, 0.2), theta)
+        ).expectation_z()
+        exp_b = Statevector(4).evolve(
+            architecture.full_circuit(np.full(16, 2.0), theta)
+        ).expectation_z()
+        assert not np.allclose(exp_a, exp_b)

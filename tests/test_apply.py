@@ -1,0 +1,163 @@
+"""Tests for tensor-contraction gate application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import apply as ap
+from repro.sim import gates
+
+
+def random_state(n_qubits: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(size=2**n_qubits) + 1j * rng.normal(size=2**n_qubits)
+    vec /= np.linalg.norm(vec)
+    return vec.reshape((2,) * n_qubits)
+
+
+def random_density(n_qubits: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dim = 2**n_qubits
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = mat @ mat.conj().T
+    rho /= np.trace(rho)
+    return rho.reshape((2,) * (2 * n_qubits))
+
+
+class TestApplyMatrix:
+    def test_single_qubit_matches_full_matrix(self):
+        state = random_state(3)
+        out = ap.apply_matrix(state, gates.H, [1])
+        full = np.kron(np.kron(gates.I2, gates.H), gates.I2)
+        expected = (full @ state.reshape(-1)).reshape((2,) * 3)
+        assert np.allclose(out, expected)
+
+    def test_two_qubit_adjacent_matches_full_matrix(self):
+        state = random_state(3)
+        out = ap.apply_matrix(state, gates.CX, [0, 1])
+        full = np.kron(gates.CX, gates.I2)
+        expected = (full @ state.reshape(-1)).reshape((2,) * 3)
+        assert np.allclose(out, expected)
+
+    def test_two_qubit_reversed_wires(self):
+        """CX with control=1, target=0 differs from control=0, target=1."""
+        state = random_state(2, seed=3)
+        out_01 = ap.apply_matrix(state, gates.CX, [0, 1])
+        out_10 = ap.apply_matrix(state, gates.CX, [1, 0])
+        assert not np.allclose(out_01, out_10)
+        # Explicit check: |01> with control=wire1 flips wire 0 -> |11>.
+        basis = np.zeros((2, 2), dtype=complex)
+        basis[0, 1] = 1.0
+        flipped = ap.apply_matrix(basis, gates.CX, [1, 0])
+        assert np.isclose(abs(flipped[1, 1]), 1.0)
+
+    def test_norm_preserved(self):
+        state = random_state(4, seed=7)
+        out = ap.apply_matrix(state, gates.rzz(1.3), [0, 3])
+        assert np.isclose(np.linalg.norm(out), 1.0)
+
+    def test_duplicate_wires_rejected(self):
+        state = random_state(2)
+        with pytest.raises(ValueError, match="duplicate"):
+            ap.apply_matrix(state, gates.CX, [1, 1])
+
+    def test_wire_out_of_range_rejected(self):
+        state = random_state(2)
+        with pytest.raises(ValueError, match="out of range"):
+            ap.apply_matrix(state, gates.H, [2])
+
+    def test_matrix_shape_mismatch_rejected(self):
+        state = random_state(2)
+        with pytest.raises(ValueError, match="does not match"):
+            ap.apply_matrix(state, gates.CX, [0])
+
+    @given(wire=st.integers(min_value=0, max_value=3), seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_inverse_round_trip(self, wire, seed):
+        state = random_state(4, seed=seed)
+        matrix = gates.ry(0.7)
+        forward = ap.apply_matrix(state, matrix, [wire])
+        back = ap.apply_matrix(forward, matrix.conj().T, [wire])
+        assert np.allclose(back, state, atol=1e-12)
+
+
+class TestDensityApply:
+    def test_unitary_conjugation_matches_dense(self):
+        rho = random_density(2, seed=1)
+        out = ap.apply_matrix_to_density(rho, gates.H, [0])
+        dense = np.kron(gates.H, gates.I2)
+        expected = dense @ rho.reshape(4, 4) @ dense.conj().T
+        assert np.allclose(out.reshape(4, 4), expected)
+
+    def test_two_qubit_conjugation_matches_dense(self):
+        rho = random_density(3, seed=2)
+        matrix = gates.rxx(0.9)
+        out = ap.apply_matrix_to_density(rho, matrix, [1, 2])
+        dense = np.kron(gates.I2, matrix)
+        expected = dense @ rho.reshape(8, 8) @ dense.conj().T
+        assert np.allclose(out.reshape(8, 8), expected)
+
+    def test_trace_preserved_by_unitary(self):
+        rho = random_density(3, seed=3)
+        out = ap.apply_matrix_to_density(rho, gates.rzz(0.5), [0, 2])
+        assert np.isclose(np.trace(out.reshape(8, 8)).real, 1.0)
+
+    def test_kraus_channel_preserves_trace(self):
+        from repro.noise.channels import depolarizing
+
+        rho = random_density(2, seed=4)
+        out = ap.apply_kraus_to_density(rho, depolarizing(0.3), [1])
+        assert np.isclose(np.trace(out.reshape(4, 4)).real, 1.0)
+
+    def test_empty_channel_rejected(self):
+        rho = random_density(1)
+        with pytest.raises(ValueError, match="at least one"):
+            ap.apply_kraus_to_density(rho, [], [0])
+
+
+class TestSuperop:
+    def test_kraus_to_superop_identity(self):
+        superop = ap.kraus_to_superop([np.eye(2, dtype=complex)])
+        assert np.allclose(superop, np.eye(4))
+
+    def test_superop_matches_kraus_application(self):
+        from repro.noise.channels import amplitude_damping
+
+        kraus = amplitude_damping(0.25)
+        rho = random_density(3, seed=5)
+        via_kraus = ap.apply_kraus_to_density(rho, kraus, [1])
+        superop = ap.kraus_to_superop(kraus)
+        via_superop = ap.apply_superop_to_density(rho, superop, 1)
+        assert np.allclose(via_kraus, via_superop, atol=1e-12)
+
+    def test_superop_wrong_shape_rejected(self):
+        rho = random_density(2)
+        with pytest.raises(ValueError, match="4x4"):
+            ap.apply_superop_to_density(rho, np.eye(16), 0)
+
+    def test_superop_wire_out_of_range(self):
+        rho = random_density(2)
+        with pytest.raises(ValueError, match="out of range"):
+            ap.apply_superop_to_density(rho, np.eye(4), 5)
+
+
+class TestExpandMatrix:
+    def test_expand_single_qubit(self):
+        expanded = ap.expand_matrix(gates.X, [1], 2)
+        assert np.allclose(expanded, np.kron(gates.I2, gates.X))
+
+    def test_expand_two_qubit_non_adjacent(self):
+        expanded = ap.expand_matrix(gates.CZ, [0, 2], 3)
+        # CZ is symmetric and diagonal: phase -1 on |1?1>.
+        diag = np.diag(expanded)
+        expected = np.ones(8)
+        expected[0b101] = -1
+        expected[0b111] = -1
+        assert np.allclose(diag, expected)
+
+    def test_expand_is_unitary(self):
+        expanded = ap.expand_matrix(gates.rzx(0.4), [2, 0], 3)
+        assert gates.is_unitary(expanded)

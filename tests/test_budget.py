@@ -1,0 +1,139 @@
+"""Tests for the training budget planner, cross-checked against the
+TrainingEngine's metered counts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.hardware import IdealBackend
+from repro.noise import get_calibration
+from repro.pruning import PruningHyperparams
+from repro.training import TrainingConfig, TrainingEngine
+from repro.training.budget import (
+    TrainingBudget,
+    predict_budget,
+    predict_walltime_seconds,
+)
+
+
+def run_and_meter(config: TrainingConfig):
+    train, val = load_task(config.task, seed=0, train_size=20, val_size=20)
+    backend = IdealBackend(exact=True)
+    engine = TrainingEngine(
+        config, backend, train_data=train, val_data=val
+    )
+    engine.train()
+    return backend.meter
+
+
+class TestPredictBudget:
+    def test_matches_meter_no_pruning(self):
+        config = TrainingConfig(
+            task="mnist2", steps=4, batch_size=3, shots=256,
+            gradient_engine="parameter_shift", eval_every=2,
+            eval_size=10, eval_shots=256, seed=0,
+        )
+        budget = predict_budget(config)
+        meter = run_and_meter(config)
+        assert budget.forward_circuits == meter.by_purpose["forward"]
+        assert budget.gradient_circuits == meter.by_purpose["gradient"]
+        assert (
+            budget.evaluation_circuits == meter.by_purpose["validation"]
+        )
+        assert budget.total_circuits == meter.circuits
+        assert budget.total_shots == meter.shots
+
+    def test_matches_meter_with_pruning(self):
+        config = TrainingConfig(
+            task="mnist2", steps=6, batch_size=2, shots=128,
+            gradient_engine="parameter_shift",
+            pruning=PruningHyperparams(1, 2, 0.5),
+            eval_every=0, eval_size=8, eval_shots=128, seed=1,
+        )
+        budget = predict_budget(config)
+        meter = run_and_meter(config)
+        assert budget.gradient_circuits == meter.by_purpose["gradient"]
+        assert budget.total_circuits == meter.circuits
+
+    def test_adjoint_needs_no_gradient_circuits(self):
+        config = TrainingConfig(
+            task="vowel4", steps=3, batch_size=4,
+            gradient_engine="adjoint", eval_every=0, eval_size=10,
+        )
+        budget = predict_budget(config)
+        assert budget.gradient_circuits == 0
+        assert budget.forward_circuits == 12
+
+    def test_pruning_budget_smaller(self):
+        base = TrainingConfig(
+            task="mnist4", steps=9, batch_size=4,
+            gradient_engine="parameter_shift", eval_every=0, eval_size=10,
+        )
+        full = predict_budget(base)
+        pruned = predict_budget(
+            base.with_(pruning=PruningHyperparams(1, 2, 0.5))
+        )
+        assert pruned.gradient_circuits < full.gradient_circuits
+        # Savings track r*w_p/(w_a+w_p) = 1/3 over whole stages.
+        saving = 1 - pruned.gradient_circuits / full.gradient_circuits
+        assert abs(saving - 1 / 3) < 0.02
+
+    def test_final_eval_counted_once(self):
+        config = TrainingConfig(
+            task="mnist2", steps=4, batch_size=2, eval_every=2,
+            eval_size=10,
+        )
+        # evals at steps 2, 4 (the final step coincides with cadence).
+        assert predict_budget(config).evaluation_circuits == 2 * 10
+
+    def test_eval_size_required(self):
+        config = TrainingConfig(task="mnist2", eval_size=None)
+        with pytest.raises(ValueError, match="val_size"):
+            predict_budget(config)
+        budget = predict_budget(config, val_size=25)
+        assert budget.evaluation_circuits > 0
+
+    def test_budget_dataclass_total(self):
+        budget = TrainingBudget(
+            gradient_circuits=10, forward_circuits=5,
+            evaluation_circuits=3, total_shots=0,
+        )
+        assert budget.total_circuits == 18
+
+
+class TestWalltime:
+    def test_positive_and_scales_with_steps(self):
+        calibration = get_calibration("ibmq_santiago")
+        short = predict_walltime_seconds(
+            TrainingConfig(task="mnist2", steps=5, eval_size=10),
+            calibration,
+        )
+        long = predict_walltime_seconds(
+            TrainingConfig(task="mnist2", steps=50, eval_size=10),
+            calibration,
+        )
+        assert 0 < short < long
+
+    def test_queue_time_added_per_job(self):
+        calibration = get_calibration("ibmq_santiago")
+        config = TrainingConfig(task="mnist2", steps=10, eval_size=10)
+        base = predict_walltime_seconds(config, calibration)
+        queued = predict_walltime_seconds(
+            config, calibration, queue_seconds_per_job=60.0
+        )
+        assert np.isclose(queued - base, 600.0)
+
+    def test_pruning_reduces_walltime(self):
+        calibration = get_calibration("ibmq_manila")
+        config = TrainingConfig(
+            task="fashion4", steps=12, eval_size=10,
+            gradient_engine="parameter_shift",
+        )
+        full = predict_walltime_seconds(config, calibration)
+        pruned = predict_walltime_seconds(
+            config.with_(pruning=PruningHyperparams(1, 2, 0.5)),
+            calibration,
+        )
+        assert pruned < full

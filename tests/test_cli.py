@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.interop import load_run
+
+
+class TestTrainCommand:
+    def test_classical_train_runs(self, capsys):
+        code = main([
+            "train", "--task", "mnist2", "--device", "ideal",
+            "--engine", "adjoint", "--steps", "4", "--batch-size", "4",
+            "--eval-size", "16", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+
+    def test_pgp_train_reports_savings(self, capsys):
+        code = main([
+            "train", "--task", "mnist2", "--device", "ideal",
+            "--steps", "3", "--batch-size", "2", "--eval-size", "8",
+            "--pgp", "--ratio", "0.5", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipped" in out
+
+    def test_save_produces_loadable_run(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        code = main([
+            "train", "--task", "mnist2", "--device", "ideal",
+            "--engine", "adjoint", "--steps", "3", "--batch-size", "2",
+            "--eval-size", "8", "--quiet", "--save", str(path),
+        ])
+        assert code == 0
+        config, theta, history, metadata = load_run(path)
+        assert config.task == "mnist2"
+        assert theta.shape == (8,)
+        assert len(history.evals) >= 1
+        assert metadata["backend"] == "ideal"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--task", "cifar"])
+
+
+class TestOtherCommands:
+    def test_characterize(self, capsys):
+        code = main([
+            "characterize", "--device", "ibmq_santiago",
+            "--shots", "1024",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RB error per Clifford" in out
+        assert "readout assignment err" in out
+
+    def test_scaling(self, capsys):
+        code = main(["scaling", "--max-qubits", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out
+
+    def test_draw(self, capsys):
+        code = main(["draw", "--task", "vowel4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q0:" in out and "q3:" in out
+        assert "RZZ(t0)" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point(self):
+        """``python -m repro draw`` works end to end."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "draw", "--task", "mnist2"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "q0:" in proc.stdout
+
+
+class TestTrainDeterminism:
+    def test_same_seed_same_result(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            main([
+                "train", "--task", "mnist2", "--device", "ibmq_lima",
+                "--steps", "2", "--batch-size", "2", "--shots", "256",
+                "--eval-size", "8", "--seed", "9", "--quiet",
+                "--save", str(path),
+            ])
+        _, theta_a, history_a, _ = load_run(paths[0])
+        _, theta_b, history_b, _ = load_run(paths[1])
+        assert np.allclose(theta_a, theta_b)
+        assert history_a.final_accuracy == history_b.final_accuracy

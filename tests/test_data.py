@@ -1,0 +1,230 @@
+"""Tests for synthetic datasets, preprocessing, and task splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchSampler,
+    Dataset,
+    avg_pool,
+    center_crop,
+    get_task_spec,
+    images_to_features,
+    load_task,
+    make_fashion_like,
+    make_mnist_like,
+    make_vowel_raw,
+    standardize,
+    vowel_features_to_angles,
+)
+
+
+class TestSyntheticImages:
+    def test_shapes_and_ranges(self):
+        images, labels = make_mnist_like([3, 6], 50, seed=0)
+        assert images.shape == (50, 28, 28)
+        assert labels.shape == (50,)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_deterministic_given_seed(self):
+        a_images, a_labels = make_mnist_like([0, 1], 20, seed=5)
+        b_images, b_labels = make_mnist_like([0, 1], 20, seed=5)
+        assert np.allclose(a_images, b_images)
+        assert np.array_equal(a_labels, b_labels)
+
+    def test_different_seeds_differ(self):
+        a_images, _ = make_mnist_like([0, 1], 20, seed=1)
+        b_images, _ = make_mnist_like([0, 1], 20, seed=2)
+        assert not np.allclose(a_images, b_images)
+
+    def test_roughly_class_balanced(self):
+        _, labels = make_mnist_like([0, 1, 2, 3], 100, seed=0)
+        counts = np.bincount(labels)
+        assert counts.min() >= 20
+
+    def test_classes_statistically_separable(self):
+        """Mean pooled images of different classes must differ clearly."""
+        images, labels = make_mnist_like([3, 6], 200, seed=0)
+        features = images_to_features(images)
+        mean_a = features[labels == 0].mean(axis=0)
+        mean_b = features[labels == 1].mean(axis=0)
+        assert np.linalg.norm(mean_a - mean_b) > 0.5
+
+    def test_fashion_generator(self):
+        images, labels = make_fashion_like([0, 1, 2, 3], 40, seed=0)
+        assert images.shape == (40, 28, 28)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            make_mnist_like([42], 10)
+        with pytest.raises(ValueError):
+            make_fashion_like([9], 10)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            make_mnist_like([0, 1, 2], 2)
+
+
+class TestSyntheticVowels:
+    def test_shapes(self):
+        features, labels = make_vowel_raw(80, seed=0)
+        assert features.shape == (80, 12)
+        assert set(labels.tolist()) == {0, 1, 2, 3}
+
+    def test_formant_ordering_preserved(self):
+        """F1 < F2 < F3 in every sample (physical constraint)."""
+        features, _ = make_vowel_raw(100, seed=1)
+        f1, f2, f3 = features[:, 2], features[:, 3], features[:, 4]
+        assert np.all(f1 < f2)
+        assert np.all(f2 < f3)
+
+    def test_class_means_separated_in_f1(self):
+        """/i/ (hid) has the lowest F1, /A/ (hOd) the highest."""
+        features, labels = make_vowel_raw(400, seed=2)
+        f1_means = [features[labels == c, 2].mean() for c in range(4)]
+        assert f1_means[0] < f1_means[1] < f1_means[2] < f1_means[3]
+
+
+class TestPreprocess:
+    def test_center_crop(self):
+        image = np.zeros((28, 28))
+        image[2:26, 2:26] = 1.0
+        cropped = center_crop(image, 24)
+        assert cropped.shape == (24, 24)
+        assert np.all(cropped == 1.0)
+
+    def test_center_crop_batch(self):
+        batch = np.zeros((5, 28, 28))
+        assert center_crop(batch, 24).shape == (5, 24, 24)
+
+    def test_crop_too_large(self):
+        with pytest.raises(ValueError):
+            center_crop(np.zeros((10, 10)), 20)
+
+    def test_avg_pool_exact_means(self):
+        image = np.arange(16.0).reshape(4, 4)
+        pooled = avg_pool(image, 2)
+        assert np.allclose(
+            pooled, [[image[:2, :2].mean(), image[:2, 2:].mean()],
+                     [image[2:, :2].mean(), image[2:, 2:].mean()]]
+        )
+
+    def test_avg_pool_divisibility(self):
+        with pytest.raises(ValueError):
+            avg_pool(np.zeros((10, 10)), 4)
+
+    def test_avg_pool_non_square(self):
+        with pytest.raises(ValueError):
+            avg_pool(np.zeros((8, 10)), 2)
+
+    def test_images_to_features_pipeline(self):
+        images = np.random.default_rng(0).uniform(size=(7, 28, 28))
+        features = images_to_features(images)
+        assert features.shape == (7, 16)
+        assert features.min() >= 0.0
+        assert features.max() <= np.pi
+
+    def test_standardize_and_reuse_stats(self):
+        rng = np.random.default_rng(0)
+        train = rng.normal(loc=5.0, scale=2.0, size=(100, 3))
+        standardized, mean, std = standardize(train)
+        assert np.allclose(standardized.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(standardized.std(axis=0), 1.0, atol=1e-10)
+        val = rng.normal(loc=5.0, scale=2.0, size=(50, 3))
+        val_std, _, _ = standardize(val, mean, std)
+        # Validation stats near but not exactly 0/1 (no leakage).
+        assert abs(val_std.mean()) < 0.5
+
+    def test_vowel_pipeline_shapes_and_range(self):
+        raw_train, _ = make_vowel_raw(100, seed=0)
+        raw_val, _ = make_vowel_raw(40, seed=1)
+        train_angles, val_angles, pca = vowel_features_to_angles(
+            raw_train, raw_val
+        )
+        assert train_angles.shape == (100, 10)
+        assert val_angles.shape == (40, 10)
+        assert np.abs(train_angles).max() <= np.pi / 2 + 1e-9
+        assert pca.components_.shape == (10, 12)
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError, match="range"):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 2)
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(np.zeros(3), np.zeros(3, dtype=int), 2)
+
+    def test_subset(self):
+        data = Dataset(np.arange(10.0).reshape(5, 2),
+                       np.array([0, 1, 0, 1, 0]), 2)
+        sub = data.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        assert np.allclose(sub.features, [[0, 1], [4, 5]])
+
+    def test_class_counts(self):
+        data = Dataset(np.zeros((4, 1)), np.array([0, 0, 1, 0]), 3)
+        assert data.class_counts().tolist() == [3, 1, 0]
+
+    def test_batch_sampler_shapes_and_determinism(self):
+        data = Dataset(np.arange(40.0).reshape(20, 2),
+                       np.zeros(20, dtype=int), 2)
+        a = BatchSampler(data, 5, seed=3).sample()
+        b = BatchSampler(data, 5, seed=3).sample()
+        assert a[0].shape == (5, 2)
+        assert np.allclose(a[0], b[0])
+
+    def test_batch_sampler_no_duplicates_within_batch(self):
+        data = Dataset(np.arange(20.0).reshape(10, 2),
+                       np.zeros(10, dtype=int), 2)
+        features, _ = BatchSampler(data, 10, seed=0).sample()
+        assert len(np.unique(features[:, 0])) == 10
+
+    def test_batch_too_large(self):
+        data = Dataset(np.zeros((3, 1)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            BatchSampler(data, 4)
+
+    def test_epochs_iterator(self):
+        data = Dataset(np.zeros((8, 1)), np.zeros(8, dtype=int), 2)
+        batches = list(BatchSampler(data, 2, seed=0).epochs(5))
+        assert len(batches) == 5
+
+
+class TestTaskSplits:
+    def test_paper_sizes(self):
+        assert get_task_spec("mnist2").train_size == 500
+        assert get_task_spec("mnist2").val_size == 300
+        assert get_task_spec("mnist4").train_size == 100
+        assert get_task_spec("vowel4").train_size == 100
+
+    def test_load_task_shapes(self):
+        train, val = load_task("mnist2", seed=0, train_size=40, val_size=20)
+        assert len(train) == 40
+        assert len(val) == 20
+        assert train.n_features == 16
+        assert train.n_classes == 2
+
+    def test_vowel_task_features(self):
+        train, val = load_task("vowel4", seed=0, train_size=50, val_size=20)
+        assert train.n_features == 10
+        assert val.n_features == 10
+        assert train.n_classes == 4
+
+    def test_split_disjoint_streams(self):
+        """Train and validation rows must not be identical."""
+        train, val = load_task("fashion2", seed=0, train_size=30,
+                               val_size=30)
+        assert not np.allclose(train.features, val.features)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            load_task("imagenet")
+
+    def test_name_normalization(self):
+        assert get_task_spec("MNIST-4").name == "mnist4"

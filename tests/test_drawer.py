@@ -1,0 +1,69 @@
+"""Tests for the ASCII circuit drawer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits import QuantumCircuit, draw, get_architecture
+
+
+class TestDraw:
+    def test_single_gate(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("h", 0)
+        text = draw(circuit)
+        assert "q0:" in text
+        assert "H" in text
+
+    def test_fixed_parameter_shown(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("ry", 0, 1.234)
+        assert "RY(1.234)" in draw(circuit)
+
+    def test_trainable_parameter_reference_shown(self):
+        circuit = QuantumCircuit(2)
+        circuit.add_trainable("rzz", (0, 1), 3)
+        assert "RZZ(t3)" in draw(circuit)
+
+    def test_shift_offset_shown(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        shifted = circuit.shifted(0, np.pi / 2)
+        assert "t0+1.57" in draw(shifted)
+
+    def test_two_qubit_partner_marked(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("cx", (0, 2))
+        lines = draw(circuit).splitlines()
+        assert "CX" in lines[0]
+        assert "*" in lines[2]
+
+    def test_one_line_per_wire(self):
+        architecture = get_architecture("mnist2")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(8))
+        lines = draw(circuit, max_width=10_000).splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith(f"q{k}:") for k, line in enumerate(lines))
+
+    def test_rows_equal_length_within_block(self):
+        architecture = get_architecture("vowel4")
+        circuit = architecture.full_circuit(np.zeros(10), np.zeros(16))
+        for block in draw(circuit, max_width=10_000).split("\n\n"):
+            lengths = {len(line) for line in block.splitlines()}
+            assert len(lengths) == 1
+
+    def test_wrapping_produces_blocks(self):
+        architecture = get_architecture("mnist4")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(36))
+        text = draw(circuit, max_width=60)
+        blocks = text.split("\n\n")
+        assert len(blocks) > 1
+        for block in blocks:
+            assert len(block.splitlines()) == 4
+
+    def test_parallel_gates_share_column(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("h", 0).add("h", 1)
+        lines = draw(circuit).splitlines()
+        # Both H gates at the same horizontal position.
+        assert lines[0].index("H") == lines[1].index("H")

@@ -1,0 +1,76 @@
+"""Tests for classical-data encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import encode_image16, encode_vowel10, get_encoder
+
+
+class TestImageEncoder:
+    def test_gate_sequence_matches_paper(self):
+        """4 RY, 4 RZ, 4 RX, 4 RY columns (Sec 4.1)."""
+        circuit = encode_image16(np.arange(16.0))
+        names = [t.name for t in circuit.templates]
+        assert names == ["ry"] * 4 + ["rz"] * 4 + ["rx"] * 4 + ["ry"] * 4
+
+    def test_feature_to_gate_assignment(self):
+        features = np.arange(16.0)
+        circuit = encode_image16(features)
+        for position, template in enumerate(circuit.templates):
+            assert template.wires == (position % 4,)
+            assert np.isclose(template.params[0], features[position])
+
+    def test_no_trainable_parameters(self):
+        circuit = encode_image16(np.zeros(16))
+        assert circuit.num_parameters == 0
+
+    def test_wrong_feature_count(self):
+        with pytest.raises(ValueError, match="16 features"):
+            encode_image16(np.zeros(15))
+
+    def test_accepts_2d_input(self):
+        """A 4x4 image is flattened row-major."""
+        image = np.arange(16.0).reshape(4, 4)
+        circuit = encode_image16(image)
+        assert np.isclose(circuit.templates[1].params[0], 1.0)
+
+    def test_wrong_qubit_count(self):
+        with pytest.raises(ValueError, match="4 qubits"):
+            encode_image16(np.zeros(16), n_qubits=5)
+
+
+class TestVowelEncoder:
+    def test_gate_sequence(self):
+        """4 RY, 4 RZ, 2 RX (Sec 4.1)."""
+        circuit = encode_vowel10(np.arange(10.0))
+        names = [t.name for t in circuit.templates]
+        assert names == ["ry"] * 4 + ["rz"] * 4 + ["rx"] * 2
+
+    def test_rx_gates_on_first_two_wires(self):
+        circuit = encode_vowel10(np.arange(10.0))
+        rx_wires = [t.wires for t in circuit.templates if t.name == "rx"]
+        assert rx_wires == [(0,), (1,)]
+
+    def test_wrong_feature_count(self):
+        with pytest.raises(ValueError, match="10 features"):
+            encode_vowel10(np.zeros(16))
+
+
+class TestRegistry:
+    def test_get_encoder(self):
+        builder, n_features = get_encoder("image16")
+        assert n_features == 16
+        assert builder is encode_image16
+
+    def test_unknown_encoder(self):
+        with pytest.raises(KeyError, match="unknown encoder"):
+            get_encoder("amplitude")
+
+    def test_distinct_data_gives_distinct_states(self):
+        from repro.sim import Statevector
+
+        a = Statevector(4).evolve(encode_image16(np.full(16, 0.3)))
+        b = Statevector(4).evolve(encode_image16(np.full(16, 1.2)))
+        assert a.fidelity(b) < 0.999

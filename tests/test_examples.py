@@ -1,0 +1,59 @@
+"""Smoke checks on the example scripts.
+
+Full example runs take minutes (they emulate on-chip training), so the
+test suite only verifies that every example compiles, has a docstring
+and a main() guard, and imports only the public package API.
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+class TestExamples:
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_has_module_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_has_main_guard(self, path):
+        text = path.read_text()
+        assert 'if __name__ == "__main__":' in text
+        assert "def main(" in text
+
+    def test_imports_resolve(self, path):
+        """Every repro import the example uses must exist."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and (
+                node.module == "repro" or node.module.startswith("repro.")
+            ):
+                module = __import__(
+                    node.module, fromlist=[a.name for a in node.names]
+                )
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    required = {
+        "quickstart", "mnist2_on_chip", "vowel4_training",
+        "pruning_ablation", "scaling_advantage", "vqe_ising",
+        "device_characterization",
+    }
+    assert required <= names

@@ -1,0 +1,170 @@
+"""Unit and property tests for the gate matrix library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import gates
+
+ANGLES = st.floats(
+    min_value=-4 * np.pi, max_value=4 * np.pi,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+class TestFixedGates:
+    def test_pauli_matrices_square_to_identity(self):
+        for name in ("x", "y", "z", "h"):
+            matrix = gates.get_gate(name).matrix()
+            assert np.allclose(matrix @ matrix, np.eye(2), atol=1e-12)
+
+    def test_s_is_sqrt_z(self):
+        assert np.allclose(gates.S @ gates.S, gates.Z)
+
+    def test_t_is_sqrt_s(self):
+        assert np.allclose(gates.T @ gates.T, gates.S)
+
+    def test_sx_is_sqrt_x(self):
+        assert np.allclose(gates.SX @ gates.SX, gates.X)
+
+    def test_sdg_tdg_are_inverses(self):
+        assert np.allclose(gates.S @ gates.SDG, np.eye(2))
+        assert np.allclose(gates.T @ gates.TDG, np.eye(2))
+
+    def test_cx_flips_target_when_control_set(self):
+        state = np.zeros(4)
+        state[2] = 1.0  # |10>
+        out = gates.CX @ state
+        assert np.allclose(out, [0, 0, 0, 1])  # |11>
+
+    def test_cz_phases_only_the_11_state(self):
+        assert np.allclose(np.diag(gates.CZ), [1, 1, 1, -1])
+
+    def test_swap_exchanges_basis_states(self):
+        state = np.zeros(4)
+        state[1] = 1.0  # |01>
+        assert np.allclose(gates.SWAP @ state, [0, 0, 1, 0])  # |10>
+
+    def test_all_fixed_gates_unitary(self):
+        for name, spec in gates.GATES.items():
+            if spec.num_params == 0:
+                assert gates.is_unitary(spec.matrix()), name
+
+
+class TestParameterizedGates:
+    @given(theta=ANGLES)
+    @settings(max_examples=50, deadline=None)
+    def test_single_qubit_rotations_unitary(self, theta):
+        for factory in (gates.rx, gates.ry, gates.rz):
+            assert gates.is_unitary(factory(theta))
+
+    @given(theta=ANGLES)
+    @settings(max_examples=50, deadline=None)
+    def test_two_qubit_rotations_unitary(self, theta):
+        for factory in (gates.rxx, gates.ryy, gates.rzz, gates.rzx):
+            assert gates.is_unitary(factory(theta))
+
+    @given(alpha=ANGLES, beta=ANGLES)
+    @settings(max_examples=50, deadline=None)
+    def test_rotation_composition(self, alpha, beta):
+        """RX(a) RX(b) = RX(a+b) — the identity Eq. 5's proof uses."""
+        assert np.allclose(
+            gates.rx(alpha) @ gates.rx(beta), gates.rx(alpha + beta),
+            atol=1e-10,
+        )
+
+    def test_rx_matches_closed_form(self):
+        theta = 0.7
+        expected = (
+            np.cos(theta / 2) * np.eye(2)
+            - 1j * np.sin(theta / 2) * gates.X
+        )
+        assert np.allclose(gates.rx(theta), expected)
+
+    def test_rx_at_zero_is_identity(self):
+        for factory in (gates.rx, gates.ry, gates.rz, gates.rzz,
+                        gates.rxx, gates.ryy, gates.rzx):
+            matrix = factory(0.0)
+            assert np.allclose(matrix, np.eye(matrix.shape[0]))
+
+    def test_rx_half_pi_matches_paper(self):
+        """RX(+-pi/2) = (I -+ iX)/sqrt(2) — the shift matrices of Eq. 4."""
+        expected_plus = (np.eye(2) - 1j * gates.X) / np.sqrt(2)
+        expected_minus = (np.eye(2) + 1j * gates.X) / np.sqrt(2)
+        assert np.allclose(gates.rx(np.pi / 2), expected_plus)
+        assert np.allclose(gates.rx(-np.pi / 2), expected_minus)
+
+    def test_rzz_is_diagonal_phase(self):
+        theta = 1.1
+        matrix = gates.rzz(theta)
+        phases = np.exp(-0.5j * theta * np.array([1, -1, -1, 1]))
+        assert np.allclose(matrix, np.diag(phases))
+
+    @given(theta=ANGLES, phi=ANGLES, lam=ANGLES)
+    @settings(max_examples=30, deadline=None)
+    def test_u3_unitary(self, theta, phi, lam):
+        assert gates.is_unitary(gates.u3(theta, phi, lam))
+
+    def test_controlled_rotations_block_structure(self):
+        matrix = gates.crx(0.9)
+        assert np.allclose(matrix[:2, :2], np.eye(2))
+        assert np.allclose(matrix[2:, 2:], gates.rx(0.9))
+
+
+class TestShiftRuleMetadata:
+    def test_shift_rule_gates_have_involutory_generators(self):
+        """Generators must satisfy G^2 = I (eigenvalues +/-1, Eq. 2)."""
+        for name in gates.SHIFT_RULE_GATES:
+            spec = gates.GATES[name]
+            generator = gates.pauli_word_matrix(spec.generator)
+            dim = generator.shape[0]
+            assert np.allclose(generator @ generator, np.eye(dim)), name
+
+    def test_generator_reproduces_gate(self):
+        """exp(-i theta G / 2) must equal the gate factory output."""
+        theta = 0.37
+        for name in gates.SHIFT_RULE_GATES:
+            spec = gates.GATES[name]
+            generator = gates.pauli_word_matrix(spec.generator)
+            dim = generator.shape[0]
+            expected = (
+                np.cos(theta / 2) * np.eye(dim)
+                - 1j * np.sin(theta / 2) * generator
+            )
+            assert np.allclose(spec.matrix(theta), expected), name
+
+    def test_phase_gate_not_shift_rule(self):
+        assert "phase" not in gates.SHIFT_RULE_GATES
+        assert "u3" not in gates.SHIFT_RULE_GATES
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert gates.get_gate("RX") is gates.get_gate("rx")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            gates.get_gate("toffoli")
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError, match="parameter"):
+            gates.get_gate("rx").matrix()
+        with pytest.raises(ValueError, match="parameter"):
+            gates.get_gate("h").matrix(0.5)
+
+    def test_pauli_word_matrix(self):
+        assert np.allclose(gates.pauli_word_matrix("ZZ"), gates.ZZ)
+        assert np.allclose(gates.pauli_word_matrix("ZX"), gates.ZX)
+        assert np.allclose(
+            gates.pauli_word_matrix("IZ"), np.kron(gates.I2, gates.Z)
+        )
+
+    def test_pauli_word_empty_raises(self):
+        with pytest.raises(ValueError):
+            gates.pauli_word_matrix("")
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not gates.is_unitary(np.array([[1.0, 1.0], [0.0, 1.0]]))

@@ -1,0 +1,199 @@
+"""Cross-module integration tests: the full QOC pipeline at tiny scale.
+
+These tests exercise the complete path the paper describes — data
+generation, encoding, circuit construction, noisy execution with jobs,
+parameter-shift gradients, pruning, optimization, evaluation — asserting
+end-to-end invariants that no single-module test can see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    IdealBackend,
+    NoisyBackend,
+    PruningHyperparams,
+    QuantumProvider,
+    TrainingConfig,
+    TrainingEngine,
+    get_architecture,
+    load_task,
+)
+from repro.training.evaluator import predict_logits
+
+
+@pytest.fixture(scope="module")
+def mnist2_small():
+    return load_task("mnist2", seed=0, train_size=24, val_size=24)
+
+
+class TestEndToEndTraining:
+    def test_identical_seeds_identical_runs(self, mnist2_small):
+        """Full determinism: same config + seeds => same trajectory."""
+        train, val = mnist2_small
+
+        def run():
+            backend = NoisyBackend.from_device_name(
+                "ibmq_santiago", seed=11
+            )
+            config = TrainingConfig(
+                task="mnist2", steps=3, batch_size=3, shots=256,
+                gradient_engine="parameter_shift", eval_every=0,
+                eval_size=12, seed=11,
+            )
+            engine = TrainingEngine(
+                config, backend, train_data=train, val_data=val
+            )
+            engine.train()
+            return engine.theta.copy(), engine.history.final_accuracy
+
+        theta_a, acc_a = run()
+        theta_b, acc_b = run()
+        assert np.allclose(theta_a, theta_b)
+        assert acc_a == acc_b
+
+    def test_shot_count_budget_consistency(self, mnist2_small):
+        """Total shots = circuits x shots, across all purposes."""
+        train, val = mnist2_small
+        backend = IdealBackend(exact=False, seed=0)
+        config = TrainingConfig(
+            task="mnist2", steps=2, batch_size=2, shots=128,
+            gradient_engine="parameter_shift", eval_every=1, eval_size=8,
+            eval_shots=128, seed=0,
+        )
+        TrainingEngine(
+            config, backend, train_data=train, val_data=val
+        ).train()
+        assert backend.meter.shots == backend.meter.circuits * 128
+
+    def test_pgp_savings_formula_end_to_end(self, mnist2_small):
+        """Measured inference savings track r*w_p/(w_a+w_p) of gradient
+        circuits over whole stages."""
+        train, val = mnist2_small
+        hyper = PruningHyperparams(1, 2, 0.5)
+        runs = {}
+        for label, pruning in (("full", None), ("pgp", hyper)):
+            backend = IdealBackend(exact=True)
+            config = TrainingConfig(
+                task="mnist2", steps=6, batch_size=2, shots=64,
+                gradient_engine="parameter_shift", eval_every=0,
+                eval_size=8, seed=3, pruning=pruning,
+            )
+            engine = TrainingEngine(
+                config, backend, train_data=train, val_data=val
+            )
+            for _ in range(6):
+                engine.train_step()
+            runs[label] = backend.meter.by_purpose["gradient"]
+        measured_saving = 1 - runs["pgp"] / runs["full"]
+        # Sampled subset sizes are exact per step, so over 2 full stages
+        # the saving matches the formula up to rounding of (1-r)*n.
+        assert abs(measured_saving - hyper.time_saved_fraction) < 0.05
+
+    def test_training_improves_over_initialization(self, mnist2_small):
+        train, val = mnist2_small
+        backend = IdealBackend(exact=True)
+        config = TrainingConfig(
+            task="mnist2", steps=15, batch_size=8,
+            gradient_engine="adjoint", eval_every=0, eval_size=24, seed=1,
+        )
+        engine = TrainingEngine(
+            config, backend, train_data=train, val_data=val
+        )
+        initial_acc = engine.evaluate()
+        history = engine.train()
+        assert history.final_accuracy >= initial_acc
+
+    def test_noisier_device_lower_accuracy_trend(self, mnist2_small):
+        """Training on a 5x-noise device should not beat the mild one."""
+        train, val = mnist2_small
+        accuracies = {}
+        for scale in (0.5, 5.0):
+            backend = NoisyBackend.from_device_name(
+                "ibmq_santiago", seed=2, noise_scale=scale
+            )
+            config = TrainingConfig(
+                task="mnist2", steps=8, batch_size=4, shots=512,
+                gradient_engine="parameter_shift", eval_every=0,
+                eval_size=24, seed=2,
+            )
+            engine = TrainingEngine(
+                config, backend, train_data=train, val_data=val
+            )
+            engine.train()
+            accuracies[scale] = engine.history.final_accuracy
+        assert accuracies[0.5] >= accuracies[5.0] - 0.10
+
+
+class TestProviderPipeline:
+    def test_provider_job_training_roundtrip(self, mnist2_small):
+        """The qiskit-style flow: provider -> backend -> jobs -> results."""
+        train, _ = mnist2_small
+        provider = QuantumProvider(seed=0)
+        backend = provider.get_backend("ibmq_lima")
+        architecture = get_architecture("mnist2")
+        theta = architecture.init_parameters(np.random.default_rng(0))
+        circuits = [
+            architecture.full_circuit(row, theta)
+            for row in train.features[:4]
+        ]
+        job = provider.submit("ibmq_lima", circuits, shots=256)
+        results = job.result()
+        assert len(results) == 4
+        assert backend.meter.circuits == 4
+        for result in results:
+            assert result.expectations.shape == (4,)
+            assert np.all(np.abs(result.expectations) <= 1.0)
+
+    def test_logits_consistent_across_backend_paths(self, mnist2_small):
+        """predict_logits == manual circuit + head composition."""
+        train, _ = mnist2_small
+        architecture = get_architecture("mnist2")
+        theta = np.linspace(-0.5, 0.5, 8)
+        backend = IdealBackend(exact=True)
+        logits = predict_logits(
+            architecture, theta, train.features[:3], backend
+        )
+        from repro.sim import Statevector
+        from repro.training import logits_from_expectations
+
+        for row, logit_row in zip(train.features[:3], logits):
+            circuit = architecture.full_circuit(row, theta)
+            expectations = Statevector(4).evolve(circuit).expectation_z()
+            assert np.allclose(
+                logit_row, logits_from_expectations(expectations, 2),
+                atol=1e-12,
+            )
+
+
+class TestNoiseConsistency:
+    def test_scale_zero_equals_ideal_everywhere(self, mnist2_small):
+        """noise_scale=0 must reproduce the ideal backend bit-for-bit in
+        the infinite-shot limit."""
+        train, _ = mnist2_small
+        architecture = get_architecture("mnist2")
+        theta = np.linspace(-1, 1, 8)
+        circuit = architecture.full_circuit(train.features[0], theta)
+        noisy = NoisyBackend.from_device_name(
+            "ibmq_jakarta", seed=0, noise_scale=0.0
+        )
+        ideal = IdealBackend(exact=True)
+        assert np.allclose(
+            noisy.exact_expectations(circuit),
+            ideal.expectations([circuit])[0],
+            atol=1e-10,
+        )
+
+    def test_readout_error_detectable_in_ground_state(self):
+        """An empty circuit on a noisy device still shows readout bias."""
+        from repro.circuits import QuantumCircuit
+
+        circuit = QuantumCircuit(4)
+        circuit.add("i", 0)
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        expectations = backend.exact_expectations(circuit)
+        # All qubits prepared in |0>: ideal <Z> = 1; readout error drops it.
+        assert np.all(expectations < 1.0)
+        assert np.all(expectations > 0.9)

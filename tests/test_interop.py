@@ -1,0 +1,170 @@
+"""Tests for OpenQASM export/import and JSON run serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, get_architecture
+from repro.interop import (
+    config_from_dict,
+    config_to_dict,
+    from_qasm,
+    history_from_dict,
+    load_run,
+    save_run,
+    to_qasm,
+)
+from repro.pruning import PruningHyperparams
+from repro.sim import Statevector
+from repro.training import (
+    EvalRecord,
+    StepRecord,
+    TrainingConfig,
+    TrainingHistory,
+)
+
+
+class TestQasmExport:
+    def test_header_and_register(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("h", 0)
+        text = to_qasm(circuit)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_parameterized_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("ry", 0, 0.25)
+        circuit.add("rzz", (0, 1), -1.5)
+        text = to_qasm(circuit)
+        assert "ry(0.25) q[0];" in text
+        assert "rzz(-1.5) q[0],q[1];" in text
+
+    def test_trainable_tagging(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.bind([0.7])
+        text = to_qasm(circuit)
+        assert "// param 0" in text
+
+    def test_identity_renamed(self):
+        circuit = QuantumCircuit(1)
+        circuit.add("i", 0)
+        assert "id q[0];" in to_qasm(circuit)
+
+
+class TestQasmImport:
+    def test_round_trip_preserves_state(self):
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(0)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-1, 1, 8)
+        )
+        restored = from_qasm(to_qasm(circuit))
+        original_state = Statevector(4).evolve(circuit)
+        restored_state = Statevector(4).evolve(restored)
+        assert np.isclose(
+            original_state.fidelity(restored_state), 1.0, atol=1e-12
+        )
+
+    def test_round_trip_preserves_trainability(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("h", 0)
+        circuit.add_trainable("rzz", (0, 1), 0)
+        circuit.add_trainable("ry", 1, 1)
+        circuit.bind([0.4, -0.9])
+        restored = from_qasm(to_qasm(circuit))
+        assert restored.num_parameters == 2
+        assert np.allclose(restored.parameters, [0.4, -0.9])
+        assert restored.occurrences_of(0) == [1]
+
+    def test_round_trip_preserves_shift_offsets(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.bind([0.3])
+        shifted = circuit.shifted(0, np.pi / 2)
+        restored = from_qasm(to_qasm(shifted))
+        assert np.isclose(restored.parameters[0], 0.3)
+        assert np.isclose(restored.templates[0].offset, np.pi / 2)
+
+    def test_pi_expressions(self):
+        text = (
+            'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+            "qreg q[1];\nrx(pi/2) q[0];\n"
+        )
+        circuit = from_qasm(text)
+        assert np.isclose(circuit.operations[0].params[0], np.pi / 2)
+
+    def test_measure_and_barrier_ignored(self):
+        text = (
+            "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n"
+            "h q[0];\nbarrier q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        circuit = from_qasm(text)
+        assert circuit.count_ops() == {"h": 1}
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="qreg"):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+        with pytest.raises(ValueError, match="no qreg"):
+            from_qasm("OPENQASM 2.0;")
+        with pytest.raises(ValueError, match="cannot parse"):
+            from_qasm("qreg q[1];\n???;")
+        with pytest.raises(ValueError, match="angle"):
+            from_qasm("qreg q[1];\nrx(import_os) q[0];")
+
+
+class TestRunSerialization:
+    def make_history(self):
+        history = TrainingHistory()
+        history.record_step(
+            StepRecord(step=0, loss=0.9, lr=0.3, n_selected=8,
+                       phase="full", inferences=100)
+        )
+        history.record_eval(
+            EvalRecord(step=0, accuracy=0.75, inferences=100)
+        )
+        return history
+
+    def test_config_round_trip(self):
+        config = TrainingConfig(
+            task="fashion4", steps=10,
+            pruning=PruningHyperparams(1, 3, 0.7),
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_config_round_trip_no_pruning(self):
+        config = TrainingConfig(task="mnist2", pruning=None)
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_history_round_trip(self):
+        history = self.make_history()
+        restored = history_from_dict(history.to_dict())
+        assert restored.to_dict() == history.to_dict()
+
+    def test_save_load_run(self, tmp_path):
+        path = tmp_path / "run.json"
+        config = TrainingConfig(task="mnist2", steps=5)
+        theta = np.linspace(-1, 1, 8)
+        save_run(path, config, theta, self.make_history(),
+                 metadata={"backend": "ibmq_santiago"})
+        loaded_config, loaded_theta, loaded_history, metadata = load_run(
+            path
+        )
+        assert loaded_config == config
+        assert np.allclose(loaded_theta, theta)
+        assert loaded_history.final_accuracy == 0.75
+        assert metadata["backend"] == "ibmq_santiago"
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "run.json"
+        save_run(path, TrainingConfig(), np.zeros(8), self.make_history())
+        payload = path.read_text().replace(
+            '"format_version": 1', '"format_version": 99'
+        )
+        path.write_text(payload)
+        with pytest.raises(ValueError, match="version"):
+            load_run(path)

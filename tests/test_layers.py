@@ -1,0 +1,101 @@
+"""Tests for the paper's seven layer types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import (
+    QuantumCircuit,
+    build_layered_ansatz,
+    chain_pairs,
+    ring_pairs,
+)
+from repro.circuits.layers import (
+    add_cz_layer,
+    add_rx_layer,
+    add_rzz_layer,
+)
+
+
+class TestPairs:
+    def test_ring_pairs_4_qubits(self):
+        """Sec 4.1 (iv): 4-qubit RZZ ring is (0,1),(1,2),(2,3),(3,0)."""
+        assert ring_pairs(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_pairs_2_qubits_degenerate(self):
+        assert ring_pairs(2) == [(0, 1)]
+
+    def test_ring_pairs_3_qubits(self):
+        assert ring_pairs(3) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_chain_pairs(self):
+        assert chain_pairs(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_too_few_qubits(self):
+        with pytest.raises(ValueError):
+            ring_pairs(1)
+        with pytest.raises(ValueError):
+            chain_pairs(1)
+
+
+class TestLayerBuilders:
+    def test_rx_layer_one_gate_per_wire(self):
+        circuit = QuantumCircuit(4)
+        next_index = add_rx_layer(circuit, 0)
+        assert next_index == 4
+        assert circuit.count_ops() == {"rx": 4}
+        assert [t.wires for t in circuit.templates] == [
+            (0,), (1,), (2,), (3,)
+        ]
+
+    def test_rzz_layer_ring(self):
+        circuit = QuantumCircuit(4)
+        next_index = add_rzz_layer(circuit, 0)
+        assert next_index == 4
+        assert [t.wires for t in circuit.templates] == [
+            (0, 1), (1, 2), (2, 3), (3, 0)
+        ]
+
+    def test_cz_layer_has_no_parameters(self):
+        circuit = QuantumCircuit(4)
+        next_index = add_cz_layer(circuit, 7)
+        assert next_index == 7  # no parameters allocated
+        assert circuit.count_ops() == {"cz": 3}
+
+    def test_start_index_offsets(self):
+        circuit = QuantumCircuit(4)
+        index = add_rx_layer(circuit, 0)
+        index = add_rzz_layer(circuit, index)
+        assert index == 8
+        assert circuit.templates[4].param_index == 4
+
+
+class TestBuildLayeredAnsatz:
+    def test_mnist2_ansatz_shape(self):
+        """RZZ + RY on 4 qubits: 8 params (Sec 4.1)."""
+        ansatz = build_layered_ansatz(4, ["rzz", "ry"])
+        assert ansatz.num_parameters == 8
+        assert ansatz.count_ops() == {"rzz": 4, "ry": 4}
+
+    def test_mnist4_ansatz_shape(self):
+        """3 x (RX+RY+RZ+CZ): 36 params."""
+        ansatz = build_layered_ansatz(4, ["rx", "ry", "rz", "cz"] * 3)
+        assert ansatz.num_parameters == 36
+        assert ansatz.count_ops() == {"rx": 12, "ry": 12, "rz": 12, "cz": 9}
+
+    def test_vowel4_ansatz_shape(self):
+        """2 x (RZZ+RXX): 16 params."""
+        ansatz = build_layered_ansatz(4, ["rzz", "rxx"] * 2)
+        assert ansatz.num_parameters == 16
+
+    def test_case_insensitive(self):
+        ansatz = build_layered_ansatz(4, ["RZZ", "Ry"])
+        assert ansatz.num_parameters == 8
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            build_layered_ansatz(4, ["qft"])
+
+    def test_parameters_all_used(self):
+        ansatz = build_layered_ansatz(4, ["rzz", "ry", "rzx"])
+        ansatz.validate()  # raises if any parameter is unused

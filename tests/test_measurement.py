@@ -1,0 +1,124 @@
+"""Tests for measurement post-processing and readout error."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import measurement as m
+
+PROBS = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestCountsToProbabilities:
+    def test_basic(self):
+        probs = m.counts_to_probabilities({"00": 3, "11": 1}, 2)
+        assert np.allclose(probs, [0.75, 0, 0, 0.25])
+
+    def test_invalid_bitstring(self):
+        with pytest.raises(ValueError, match="invalid bitstring"):
+            m.counts_to_probabilities({"0x": 1}, 2)
+        with pytest.raises(ValueError, match="invalid bitstring"):
+            m.counts_to_probabilities({"0": 1}, 2)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError, match="negative"):
+            m.counts_to_probabilities({"00": -1}, 2)
+
+    def test_empty_counts(self):
+        with pytest.raises(ValueError, match="empty"):
+            m.counts_to_probabilities({}, 2)
+
+
+class TestExpectations:
+    def test_expectation_from_counts_matches_convention(self):
+        """All |0> -> +1, all |1> -> -1 per qubit."""
+        exp = m.expectation_z_from_counts({"01": 10}, 2)
+        assert np.allclose(exp, [1.0, -1.0])
+
+    def test_expectation_from_counts_mixed(self):
+        exp = m.expectation_z_from_counts({"00": 1, "10": 1}, 2)
+        assert np.allclose(exp, [0.0, 1.0])
+
+    def test_expectation_from_probabilities(self):
+        probs = np.array([0.5, 0.0, 0.0, 0.5])  # (|00> + |11>)/sqrt2 mix
+        exp = m.expectation_z_from_probabilities(probs)
+        assert np.allclose(exp, [0.0, 0.0])
+
+    def test_expectation_from_probabilities_bad_length(self):
+        with pytest.raises(ValueError, match="power of two"):
+            m.expectation_z_from_probabilities(np.ones(3) / 3)
+
+    def test_counts_and_probability_paths_agree(self):
+        counts = {"000": 10, "011": 20, "101": 5, "110": 15}
+        probs = m.counts_to_probabilities(counts, 3)
+        assert np.allclose(
+            m.expectation_z_from_counts(counts, 3),
+            m.expectation_z_from_probabilities(probs),
+        )
+
+
+class TestReadoutError:
+    def test_confusion_matrix_columns_sum_to_one(self):
+        conf = m.readout_confusion_matrix(0.03, 0.01)
+        assert np.allclose(conf.sum(axis=0), [1.0, 1.0])
+
+    def test_confusion_matrix_validates(self):
+        with pytest.raises(ValueError):
+            m.readout_confusion_matrix(1.5, 0.0)
+
+    def test_identity_confusion_is_noop(self):
+        probs = np.array([0.1, 0.2, 0.3, 0.4])
+        identity = m.readout_confusion_matrix(0.0, 0.0)
+        out = m.apply_readout_error(probs, [identity, identity])
+        assert np.allclose(out, probs)
+
+    def test_full_flip_reverses_marginals(self):
+        probs = np.array([1.0, 0.0])  # one qubit in |0>
+        flip = m.readout_confusion_matrix(1.0, 1.0)
+        out = m.apply_readout_error(probs, [flip])
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_asymmetric_error_biases_towards_zero(self):
+        """p01 > p10 (the typical hardware asymmetry) inflates P(0)."""
+        probs = np.array([0.5, 0.5])
+        conf = m.readout_confusion_matrix(0.05, 0.01)
+        out = m.apply_readout_error(probs, [conf])
+        assert out[0] > 0.5
+
+    def test_output_normalized(self):
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(8))
+        confs = [m.readout_confusion_matrix(0.02, 0.01)] * 3
+        out = m.apply_readout_error(probs, confs)
+        assert np.isclose(out.sum(), 1.0)
+        assert np.all(out >= 0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            m.apply_readout_error(np.ones(4) / 4, [np.eye(2)] * 3)
+
+    @given(p01=PROBS, p10=PROBS)
+    @settings(max_examples=30, deadline=None)
+    def test_confusion_always_stochastic(self, p01, p10):
+        conf = m.readout_confusion_matrix(p01, p10)
+        assert np.all(conf >= 0)
+        assert np.allclose(conf.sum(axis=0), 1.0)
+
+
+class TestSampling:
+    def test_sample_counts_sum(self):
+        rng = np.random.default_rng(5)
+        counts = m.sample_from_probabilities(
+            np.array([0.25, 0.25, 0.25, 0.25]), 1000, rng
+        )
+        assert sum(counts.values()) == 1000
+        assert all(len(k) == 2 for k in counts)
+
+    def test_sample_shots_validated(self):
+        with pytest.raises(ValueError):
+            m.sample_from_probabilities(
+                np.array([1.0]), 0, np.random.default_rng(0)
+            )

@@ -1,0 +1,163 @@
+"""Tests for readout-error mitigation and randomized benchmarking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import IdealBackend, NoisyBackend
+from repro.mitigation import (
+    ReadoutCalibration,
+    calibrate_readout,
+    calibration_circuits,
+    mitigate_probabilities,
+    mitigated_expectations,
+    random_clifford_sequence,
+    rb_circuit,
+    run_rb,
+)
+from repro.noise import get_calibration
+from repro.sim import Statevector
+
+
+class TestCalibrationCircuits:
+    def test_two_preparations(self):
+        circuits = calibration_circuits(3)
+        assert len(circuits) == 2
+        zero_state = Statevector(3).evolve(circuits[0])
+        one_state = Statevector(3).evolve(circuits[1])
+        assert np.allclose(zero_state.expectation_z(), [1, 1, 1])
+        assert np.allclose(one_state.expectation_z(), [-1, -1, -1])
+
+    def test_needs_a_qubit(self):
+        with pytest.raises(ValueError):
+            calibration_circuits(0)
+
+
+class TestCalibrateReadout:
+    def test_recovers_device_readout_errors(self):
+        """Measured confusion matrices track the calibration snapshot."""
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        measured = calibrate_readout(backend, 4, shots=20000)
+        truth = get_calibration("ibmq_lima")
+        # Gate noise on the X preparation inflates p01 slightly; allow a
+        # loose but informative tolerance.
+        for confusion in measured.confusions:
+            assert abs(confusion[1, 0] - truth.readout_p10) < 0.02
+            assert abs(confusion[0, 1] - truth.readout_p01) < 0.04
+
+    def test_ideal_backend_identity_confusions(self):
+        backend = IdealBackend(exact=False, seed=0)
+        measured = calibrate_readout(backend, 2, shots=20000)
+        for confusion in measured.confusions:
+            assert np.allclose(confusion, np.eye(2), atol=0.02)
+
+    def test_mean_assignment_error(self):
+        calibration = ReadoutCalibration(
+            confusions=(
+                np.array([[0.98, 0.04], [0.02, 0.96]]),
+            )
+        )
+        assert np.isclose(
+            calibration.mean_assignment_error(), 0.5 * (0.04 + 0.02)
+        )
+
+
+class TestMitigation:
+    def _calibration(self, p01=0.04, p10=0.02, n=2):
+        confusion = np.array([[1 - p10, p01], [p10, 1 - p01]])
+        return ReadoutCalibration(
+            confusions=tuple(confusion.copy() for _ in range(n))
+        )
+
+    def test_inverts_exact_confusion(self):
+        from repro.sim.measurement import apply_readout_error
+
+        calibration = self._calibration()
+        true_probs = np.array([0.6, 0.1, 0.1, 0.2])
+        observed = apply_readout_error(
+            true_probs, list(calibration.confusions)
+        )
+        recovered = mitigate_probabilities(observed, calibration)
+        assert np.allclose(recovered, true_probs, atol=1e-10)
+
+    def test_output_is_distribution(self):
+        calibration = self._calibration(p01=0.1, p10=0.05)
+        rng = np.random.default_rng(0)
+        probs = rng.dirichlet(np.ones(4))
+        out = mitigate_probabilities(probs, calibration)
+        assert np.isclose(out.sum(), 1.0)
+        assert np.all(out >= 0)
+
+    def test_mitigated_expectations_reduce_bias(self):
+        """On a noisy device, mitigation moves <Z> toward the ideal."""
+        from repro.circuits import QuantumCircuit
+
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=3)
+        calibration = calibrate_readout(backend, 2, shots=30000)
+        circuit = QuantumCircuit(2)
+        circuit.add("i", 0)
+        result = backend.run([circuit], shots=30000)[0]
+        raw = result.expectations
+        mitigated = mitigated_expectations(result.counts, calibration)
+        ideal = np.array([1.0, 1.0])
+        assert np.linalg.norm(mitigated - ideal) < np.linalg.norm(
+            raw - ideal
+        )
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            mitigate_probabilities(np.ones(8) / 8, self._calibration(n=2))
+
+
+class TestRandomizedBenchmarking:
+    def test_sequence_generation(self):
+        rng = np.random.default_rng(0)
+        names = random_clifford_sequence(10, rng)
+        assert len(names) == 10
+        with pytest.raises(ValueError):
+            random_clifford_sequence(0, rng)
+
+    def test_rb_circuit_inverts_to_identity(self):
+        """Sequence + synthesized inverse returns |0> exactly."""
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            names = random_clifford_sequence(
+                int(rng.integers(1, 12)), rng
+            )
+            circuit = rb_circuit(names)
+            state = Statevector(1).evolve(circuit)
+            assert np.isclose(abs(state.vector[0]), 1.0, atol=1e-9)
+
+    def test_ideal_backend_no_decay(self):
+        result = run_rb(
+            IdealBackend(exact=True), lengths=(1, 8, 16),
+            n_sequences=3, seed=0,
+        )
+        assert all(s > 0.999 for s in result.survival)
+        assert result.error_per_clifford < 1e-3
+
+    def test_noisy_backend_decays(self):
+        backend = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        result = run_rb(
+            backend, lengths=(1, 8, 24), n_sequences=4,
+            shots=2048, seed=0,
+        )
+        assert result.survival[0] > result.survival[-1]
+        assert 0.0 < result.error_per_clifford < 0.1
+
+    def test_rb_ranks_devices_by_gate_error(self):
+        """Casablanca (worse calibration) shows a higher RB error than
+        santiago."""
+        def rb_error(device):
+            backend = NoisyBackend.from_device_name(device, seed=0)
+            return run_rb(
+                backend, lengths=(1, 16, 48), n_sequences=6,
+                shots=4096, seed=1,
+            ).error_per_clifford
+
+        assert rb_error("ibmq_casablanca") > rb_error("ibmq_santiago")
+
+    def test_needs_two_lengths(self):
+        with pytest.raises(ValueError):
+            run_rb(IdealBackend(exact=True), lengths=(4,))

@@ -1,0 +1,216 @@
+"""Tests for the classical ML substrate: functional ops, loss, metrics, PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import (
+    PCA,
+    accuracy,
+    confusion_matrix,
+    cross_entropy,
+    log_softmax,
+    mean_relative_error,
+    nll_from_probabilities,
+    one_hot,
+    softmax,
+    softmax_jacobian,
+)
+
+LOGIT_ROWS = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 6), st.integers(2, 5)),
+    elements=st.floats(min_value=-30, max_value=30),
+)
+
+
+class TestSoftmax:
+    @given(logits=LOGIT_ROWS)
+    @settings(max_examples=40, deadline=None)
+    def test_rows_are_distributions(self, logits):
+        probs = softmax(logits)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    @given(logits=LOGIT_ROWS)
+    @settings(max_examples=40, deadline=None)
+    def test_shift_invariance(self, logits):
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        probs = softmax(np.array([1000.0, -1000.0]))
+        assert np.allclose(probs, [1.0, 0.0])
+        assert not np.any(np.isnan(probs))
+
+    @given(logits=LOGIT_ROWS)
+    @settings(max_examples=30, deadline=None)
+    def test_log_softmax_consistent(self, logits):
+        assert np.allclose(
+            log_softmax(logits), np.log(softmax(logits) + 1e-300),
+            atol=1e-6,
+        )
+
+    def test_jacobian_matches_numeric(self):
+        logits = np.array([0.3, -1.2, 0.8])
+        analytic = softmax_jacobian(logits)
+        eps = 1e-6
+        numeric = np.zeros((3, 3))
+        for j in range(3):
+            shifted = logits.copy()
+            shifted[j] += eps
+            numeric[:, j] = (softmax(shifted) - softmax(logits)) / eps
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_range_checked(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0]])
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_logits_log_k(self):
+        logits = np.zeros((1, 4))
+        loss, _ = cross_entropy(logits, np.array([2]))
+        assert np.isclose(loss, np.log(4))
+
+    def test_gradient_is_softmax_minus_target(self):
+        logits = np.array([[0.5, -0.3, 1.1]])
+        _, grad = cross_entropy(logits, np.array([1]))
+        expected = softmax(logits) - one_hot(np.array([1]), 3)
+        assert np.allclose(grad, expected)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 3, 1])
+        _, grad = cross_entropy(logits, labels)
+        eps = 1e-6
+        for row in range(3):
+            for col in range(4):
+                shifted = logits.copy()
+                shifted[row, col] += eps
+                loss_plus, _ = cross_entropy(shifted, labels)
+                loss_base, _ = cross_entropy(logits, labels)
+                numeric = (loss_plus - loss_base) / eps
+                assert np.isclose(grad[row, col], numeric, atol=1e-4)
+
+    def test_single_row_input(self):
+        loss, grad = cross_entropy(np.array([1.0, 0.0]), np.array([0]))
+        assert grad.shape == (2,)
+        assert loss > 0
+
+    def test_soft_targets(self):
+        logits = np.array([[0.2, 0.8]])
+        soft = np.array([[0.5, 0.5]])
+        loss, grad = cross_entropy(logits, soft)
+        assert np.isclose(grad.sum(), 0.0, atol=1e-12)
+
+    def test_invalid_soft_targets(self):
+        with pytest.raises(ValueError, match="distributions"):
+            cross_entropy(np.zeros((1, 2)), np.array([[0.7, 0.7]]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.array([[1.0, 0.0]] * 2))
+
+    def test_nll_from_probabilities(self):
+        probs = np.array([[0.25, 0.75]])
+        assert np.isclose(
+            nll_from_probabilities(probs, np.array([1])), -np.log(0.75)
+        )
+
+
+class TestMetrics:
+    def test_accuracy_from_labels(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == \
+            pytest.approx(2 / 3)
+
+    def test_accuracy_from_logits(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(
+            np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0]), 2
+        )
+        assert matrix.tolist() == [[2, 1], [0, 1]]
+        assert matrix.sum() == 4
+
+    def test_mean_relative_error(self):
+        out = mean_relative_error(np.array([1.1, 2.0]), np.array([1.0, 2.0]))
+        assert np.isclose(out, 0.05)
+
+    def test_mre_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.ones(2), np.ones(3))
+
+
+class TestPCA:
+    def make_data(self, n=200, d=6, seed=0):
+        rng = np.random.default_rng(seed)
+        latent = rng.normal(size=(n, 2)) * np.array([5.0, 1.0])
+        mixing = rng.normal(size=(2, d))
+        return latent @ mixing + rng.normal(scale=0.05, size=(n, d))
+
+    def test_components_orthonormal(self):
+        pca = PCA(3).fit(self.make_data())
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_sorted(self):
+        pca = PCA(4).fit(self.make_data())
+        variances = pca.explained_variance_
+        assert np.all(np.diff(variances) <= 1e-12)
+
+    def test_two_components_capture_planted_structure(self):
+        pca = PCA(2).fit(self.make_data())
+        assert pca.explained_variance_ratio_.sum() > 0.99
+
+    def test_transform_inverse_roundtrip(self):
+        data = self.make_data()
+        pca = PCA(6).fit(data)  # full rank: lossless
+        restored = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(restored, data, atol=1e-8)
+
+    def test_reconstruction_improves_with_components(self):
+        data = self.make_data()
+        errors = []
+        for k in (1, 2, 4):
+            pca = PCA(k).fit(data)
+            restored = pca.inverse_transform(pca.transform(data))
+            errors.append(np.linalg.norm(restored - data))
+        assert errors[0] > errors[1] > errors[2] - 1e-9
+
+    def test_single_row_transform(self):
+        data = self.make_data()
+        pca = PCA(2).fit(data)
+        row = pca.transform(data[0])
+        assert row.shape == (2,)
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            PCA(2).transform(np.zeros((3, 4)))
+
+    def test_too_many_components(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            PCA(10).fit(np.zeros((5, 4)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            PCA(1).fit(np.zeros(5))

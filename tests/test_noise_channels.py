@@ -1,0 +1,154 @@
+"""Unit and property tests for Kraus channels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import channels as ch
+from repro.sim import DensityMatrix
+
+PROB = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestCPTPProperty:
+    @given(p=PROB)
+    @settings(max_examples=40, deadline=None)
+    def test_depolarizing_1q_cptp(self, p):
+        assert ch.is_cptp(ch.depolarizing(p, 1))
+
+    @given(p=PROB)
+    @settings(max_examples=20, deadline=None)
+    def test_depolarizing_2q_cptp(self, p):
+        assert ch.is_cptp(ch.depolarizing(p, 2))
+
+    @given(p=PROB)
+    @settings(max_examples=40, deadline=None)
+    def test_bit_phase_flip_cptp(self, p):
+        assert ch.is_cptp(ch.bit_flip(p))
+        assert ch.is_cptp(ch.phase_flip(p))
+
+    @given(gamma=PROB)
+    @settings(max_examples=40, deadline=None)
+    def test_damping_cptp(self, gamma):
+        assert ch.is_cptp(ch.amplitude_damping(gamma))
+        assert ch.is_cptp(ch.phase_damping(gamma))
+
+    @given(
+        duration=st.floats(min_value=0.0, max_value=1e4),
+        t1=st.floats(min_value=1.0, max_value=1e6),
+        ratio=st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_thermal_relaxation_cptp(self, duration, t1, ratio):
+        t2 = t1 * ratio
+        assert ch.is_cptp(ch.thermal_relaxation(duration, t1, t2))
+
+    @given(angle=st.floats(min_value=-np.pi, max_value=np.pi))
+    @settings(max_examples=30, deadline=None)
+    def test_coherent_overrotation_cptp(self, angle):
+        for axis in ("x", "y", "z"):
+            assert ch.is_cptp(ch.coherent_overrotation(angle, axis))
+
+    @given(p=PROB, gamma=PROB)
+    @settings(max_examples=30, deadline=None)
+    def test_composition_cptp(self, p, gamma):
+        composed = ch.compose_channels(
+            ch.depolarizing(p), ch.amplitude_damping(gamma)
+        )
+        assert ch.is_cptp(composed)
+
+
+class TestChannelPhysics:
+    def test_depolarizing_zero_is_identity(self):
+        ops = ch.depolarizing(0.0)
+        rho = DensityMatrix(1).apply_gate("h", [0])
+        before = rho.matrix
+        rho.apply_channel(ops, [0])
+        assert np.allclose(rho.matrix, before)
+
+    def test_depolarizing_shrinks_bloch_vector(self):
+        rho = DensityMatrix(1).apply_gate("h", [0])
+        rho.apply_channel(ch.depolarizing(0.3), [0])
+        # Off-diagonal of H|0><0|H is 1/2; depolarizing shrinks it by
+        # (1 - 4p/3).
+        assert np.isclose(
+            rho.matrix[0, 1].real, 0.5 * (1 - 4 * 0.3 / 3), atol=1e-10
+        )
+
+    def test_amplitude_damping_decays_excited_state(self):
+        rho = DensityMatrix(1).apply_gate("x", [0])  # |1><1|
+        rho.apply_channel(ch.amplitude_damping(0.4), [0])
+        assert np.isclose(rho.matrix[0, 0].real, 0.4)
+        assert np.isclose(rho.matrix[1, 1].real, 0.6)
+
+    def test_amplitude_damping_full_resets_to_ground(self):
+        rho = DensityMatrix(1).apply_gate("x", [0])
+        rho.apply_channel(ch.amplitude_damping(1.0), [0])
+        assert np.isclose(rho.matrix[0, 0].real, 1.0)
+
+    def test_phase_damping_kills_coherence_not_populations(self):
+        rho = DensityMatrix(1).apply_gate("h", [0])
+        populations_before = np.diag(rho.matrix).real.copy()
+        rho.apply_channel(ch.phase_damping(1.0), [0])
+        assert np.allclose(np.diag(rho.matrix).real, populations_before)
+        assert np.isclose(abs(rho.matrix[0, 1]), 0.0, atol=1e-12)
+
+    def test_thermal_relaxation_zero_duration_is_identity(self):
+        ops = ch.thermal_relaxation(0.0, 100.0, 80.0)
+        rho = DensityMatrix(1).apply_gate("h", [0])
+        before = rho.matrix
+        rho.apply_channel(ops, [0])
+        assert np.allclose(rho.matrix, before, atol=1e-12)
+
+    def test_thermal_relaxation_coherence_decay_rate(self):
+        """Off-diagonals decay as exp(-d/T2)."""
+        duration, t1, t2 = 50.0, 120.0, 60.0
+        rho = DensityMatrix(1).apply_gate("h", [0])
+        rho.apply_channel(ch.thermal_relaxation(duration, t1, t2), [0])
+        assert np.isclose(
+            abs(rho.matrix[0, 1]), 0.5 * np.exp(-duration / t2), atol=1e-10
+        )
+
+    def test_thermal_relaxation_population_decay_rate(self):
+        """|1> population decays as exp(-d/T1)."""
+        duration, t1, t2 = 30.0, 100.0, 90.0
+        rho = DensityMatrix(1).apply_gate("x", [0])
+        rho.apply_channel(ch.thermal_relaxation(duration, t1, t2), [0])
+        assert np.isclose(
+            rho.matrix[1, 1].real, np.exp(-duration / t1), atol=1e-10
+        )
+
+    def test_coherent_error_is_unitary_single_kraus(self):
+        ops = ch.coherent_overrotation(0.05, "z")
+        assert len(ops) == 1
+        assert np.allclose(ops[0] @ ops[0].conj().T, np.eye(2))
+
+
+class TestValidation:
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError):
+            ch.depolarizing(1.5)
+        with pytest.raises(ValueError):
+            ch.bit_flip(-0.1)
+
+    def test_depolarizing_qubit_count(self):
+        with pytest.raises(ValueError):
+            ch.depolarizing(0.1, 3)
+
+    def test_thermal_relaxation_t2_bound(self):
+        with pytest.raises(ValueError, match="T2"):
+            ch.thermal_relaxation(10.0, 50.0, 150.0)
+
+    def test_thermal_relaxation_negative_duration(self):
+        with pytest.raises(ValueError):
+            ch.thermal_relaxation(-1.0, 50.0, 50.0)
+
+    def test_coherent_axis_validated(self):
+        with pytest.raises(ValueError):
+            ch.coherent_overrotation(0.1, "w")
+
+    def test_is_cptp_empty(self):
+        assert not ch.is_cptp([])

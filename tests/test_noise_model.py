@@ -1,0 +1,156 @@
+"""Tests for device calibrations and noise models."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, get_architecture
+from repro.noise import (
+    CALIBRATIONS,
+    DeviceCalibration,
+    NoiseModel,
+    get_calibration,
+    noise_model_for,
+)
+
+
+class TestCalibrations:
+    def test_paper_devices_present(self):
+        expected = {
+            "ibmq_jakarta", "ibmq_manila", "ibmq_santiago",
+            "ibmq_lima", "ibmq_casablanca", "ibmq_toronto",
+        }
+        assert expected == set(CALIBRATIONS)
+
+    def test_short_names_resolve(self):
+        assert get_calibration("santiago").name == "ibmq_santiago"
+        assert get_calibration("IBMQ_JAKARTA").name == "ibmq_jakarta"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_calibration("ibmq_melbourne")
+
+    def test_error_rates_in_paper_range(self):
+        """Gate errors 1e-3..1e-2 for CX (Sec. 1's NISQ range)."""
+        for calibration in CALIBRATIONS.values():
+            assert 1e-3 <= calibration.cx_gate_error <= 1e-1
+            assert calibration.sq_gate_error < calibration.cx_gate_error
+
+    def test_coupling_maps_valid(self):
+        for calibration in CALIBRATIONS.values():
+            for a, b in calibration.coupling_map:
+                assert 0 <= a < calibration.n_qubits
+                assert 0 <= b < calibration.n_qubits
+                assert a != b
+
+    def test_casablanca_noisier_than_santiago(self):
+        """Fig. 2c shows casablanca gradients noisier than santiago's."""
+        assert (
+            get_calibration("casablanca").cx_gate_error
+            > get_calibration("santiago").cx_gate_error
+        )
+
+    def test_validation_rejects_bad_t2(self):
+        base = get_calibration("santiago")
+        with pytest.raises(ValueError, match="T2"):
+            dataclasses.replace(base, t2_us=base.t1_us * 3)
+
+    def test_validation_rejects_bad_edge(self):
+        base = get_calibration("santiago")
+        with pytest.raises(ValueError, match="out of range"):
+            dataclasses.replace(base, coupling_map=((0, 99),))
+
+    def test_validation_rejects_self_loop(self):
+        base = get_calibration("santiago")
+        with pytest.raises(ValueError, match="self-loop"):
+            dataclasses.replace(base, coupling_map=((1, 1),))
+
+
+def _rzz_op():
+    circuit = QuantumCircuit(2)
+    circuit.add("rzz", (0, 1), 0.5)
+    return circuit.operations[0]
+
+
+def _rx_op():
+    circuit = QuantumCircuit(1)
+    circuit.add("rx", 0, 0.5)
+    return circuit.operations[0]
+
+
+class TestNoiseModel:
+    def test_channels_cover_all_touched_wires(self):
+        model = noise_model_for("ibmq_jakarta")
+        wires = [w for _, w in model.channels_for(_rzz_op())]
+        touched = {wire for (wire,) in wires}
+        assert touched == {0, 1}
+
+    def test_scale_zero_yields_no_channels(self):
+        model = noise_model_for("ibmq_jakarta", scale=0.0)
+        assert list(model.channels_for(_rzz_op())) == []
+        assert model.superop_for(_rzz_op()) is None
+
+    def test_superop_trace_preserving(self):
+        model = noise_model_for("ibmq_manila")
+        superop = model.superop_for(_rx_op())
+        # Trace preservation: superop^T maps vec(I) to vec(I) columns sum.
+        # Check by applying to a random density matrix.
+        rng = np.random.default_rng(0)
+        mat = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        rho = mat @ mat.conj().T
+        rho /= np.trace(rho)
+        out = (superop @ rho.reshape(-1)).reshape(2, 2)
+        assert np.isclose(np.trace(out).real, 1.0, atol=1e-10)
+
+    def test_two_qubit_gates_noisier_than_single(self):
+        """Logical-level: RZZ's per-qubit channel decoheres more than RX's."""
+        model = noise_model_for("ibmq_jakarta", include_coherent=False)
+        rho_2q = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        out_rzz = (
+            model.superop_for(_rzz_op()) @ rho_2q.reshape(-1)
+        ).reshape(2, 2)
+        out_rx = (
+            model.superop_for(_rx_op()) @ rho_2q.reshape(-1)
+        ).reshape(2, 2)
+        assert abs(out_rzz[0, 1]) < abs(out_rx[0, 1])
+
+    def test_scale_monotonicity(self):
+        """Larger noise scale decoheres strictly more."""
+        op = _rzz_op()
+        rho = np.array([[0.5, 0.5], [0.5, 0.5]], dtype=complex)
+        coherences = []
+        for scale in (0.5, 1.0, 2.0):
+            model = noise_model_for("ibmq_lima", scale=scale)
+            out = (model.superop_for(op) @ rho.reshape(-1)).reshape(2, 2)
+            coherences.append(abs(out[0, 1]))
+        assert coherences[0] > coherences[1] > coherences[2]
+
+    def test_readout_confusions_shape(self):
+        model = noise_model_for("ibmq_santiago")
+        confusions = model.readout_confusions(4)
+        assert len(confusions) == 4
+        for confusion in confusions:
+            assert confusion.shape == (2, 2)
+            assert np.allclose(confusion.sum(axis=0), 1.0)
+
+    def test_expected_gate_error_ranks_devices(self):
+        architecture = get_architecture("mnist2")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(8))
+        error_santiago = noise_model_for("ibmq_santiago").expected_gate_error(
+            circuit
+        )
+        error_casablanca = noise_model_for(
+            "ibmq_casablanca"
+        ).expected_gate_error(circuit)
+        assert error_casablanca > error_santiago
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError, match="level"):
+            NoiseModel(get_calibration("santiago"), level="gate")
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            noise_model_for("santiago", scale=-1.0)

@@ -1,0 +1,76 @@
+"""Tests for OpTemplate / BoundOp validation and shifting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import BoundOp, OpTemplate
+from repro.sim import gates
+
+
+class TestOpTemplate:
+    def test_fixed_operation(self):
+        template = OpTemplate("rx", (0,), (0.5,))
+        assert not template.is_trainable
+        assert template.params == (0.5,)
+
+    def test_trainable_operation(self):
+        template = OpTemplate("ry", (1,), param_index=3)
+        assert template.is_trainable
+        assert template.param_index == 3
+
+    def test_name_normalized(self):
+        assert OpTemplate("RX", (0,), (0.1,)).name == "rx"
+
+    def test_unknown_gate(self):
+        with pytest.raises(KeyError):
+            OpTemplate("nope", (0,), ())
+
+    def test_wrong_wire_count(self):
+        with pytest.raises(ValueError, match="wires"):
+            OpTemplate("cx", (0,), ())
+        with pytest.raises(ValueError, match="wires"):
+            OpTemplate("rx", (0, 1), (0.5,))
+
+    def test_wrong_param_count(self):
+        with pytest.raises(ValueError, match="params"):
+            OpTemplate("rx", (0,), ())
+        with pytest.raises(ValueError, match="params"):
+            OpTemplate("h", (0,), (0.1,))
+
+    def test_trainable_with_literal_params_rejected(self):
+        with pytest.raises(ValueError, match="literal"):
+            OpTemplate("rx", (0,), (0.5,), param_index=0)
+
+    def test_trainable_multiparam_gate_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            OpTemplate("u3", (0,), param_index=0)
+
+    def test_trainable_fixed_gate_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            OpTemplate("h", (0,), param_index=0)
+
+    def test_negative_param_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            OpTemplate("rx", (0,), param_index=-1)
+
+    def test_shifted_accumulates_offset(self):
+        template = OpTemplate("rx", (0,), param_index=0)
+        shifted = template.shifted(np.pi / 2).shifted(0.1)
+        assert np.isclose(shifted.offset, np.pi / 2 + 0.1)
+        assert template.offset == 0.0  # original untouched
+
+    def test_shift_fixed_operation_rejected(self):
+        with pytest.raises(ValueError, match="fixed"):
+            OpTemplate("rx", (0,), (0.5,)).shifted(0.1)
+
+
+class TestBoundOp:
+    def test_matrix(self):
+        op = BoundOp("rx", (0,), (0.7,))
+        assert np.allclose(op.matrix(), gates.rx(0.7))
+
+    def test_fixed_gate_matrix(self):
+        op = BoundOp("cz", (0, 1), ())
+        assert np.allclose(op.matrix(), gates.CZ)

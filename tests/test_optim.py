@@ -1,0 +1,163 @@
+"""Tests for optimizers and LR schedulers (Table 3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    ConstantScheduler,
+    CosineScheduler,
+    Momentum,
+    SGD,
+    StepDecayScheduler,
+    make_optimizer,
+)
+
+
+class TestSGD:
+    def test_basic_step(self):
+        params = np.array([1.0, 2.0])
+        SGD(lr=0.1).step(params, np.array([1.0, -1.0]))
+        assert np.allclose(params, [0.9, 2.1])
+
+    def test_mask_freezes_parameters(self):
+        params = np.array([1.0, 2.0])
+        SGD(lr=0.1).step(
+            params, np.array([1.0, 1.0]), mask=np.array([True, False])
+        )
+        assert np.allclose(params, [0.9, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1).step(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            SGD(lr=0.1).step(np.zeros(2), np.zeros(2), mask=np.ones(3, bool))
+
+
+class TestMomentum:
+    def test_velocity_accumulates(self):
+        params = np.array([0.0])
+        opt = Momentum(lr=0.1, momentum=0.5)
+        opt.step(params, np.array([1.0]))   # v=1, p=-0.1
+        opt.step(params, np.array([1.0]))   # v=1.5, p=-0.25
+        assert np.isclose(params[0], -0.25)
+
+    def test_frozen_parameter_velocity_untouched(self):
+        """Pruned parameters must not leak zero-gradients into momentum."""
+        params = np.array([0.0, 0.0])
+        opt = Momentum(lr=0.1, momentum=0.5)
+        opt.step(params, np.array([1.0, 1.0]))
+        opt.step(params, np.array([1.0, 0.0]),
+                 mask=np.array([True, False]))
+        # Unfreezing: velocity of param 1 is still 1.0 (not decayed).
+        opt.step(params, np.array([0.0, 0.0]))
+        # v1 = 0.5*1.0 + 0 = 0.5 -> p1 -= 0.05
+        assert np.isclose(params[1], -0.1 - 0.05)
+
+    def test_momentum_range_validated(self):
+        with pytest.raises(ValueError):
+            Momentum(lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        """With bias correction the first Adam step is ~lr * sign(g)."""
+        params = np.array([0.0])
+        Adam(lr=0.1).step(params, np.array([0.5]))
+        assert np.isclose(params[0], -0.1, atol=1e-6)
+
+    def test_adapts_to_gradient_scale(self):
+        """Parameters with consistently large and small gradients get
+        comparable step sizes."""
+        params = np.array([0.0, 0.0])
+        opt = Adam(lr=0.01)
+        for _ in range(50):
+            opt.step(params, np.array([10.0, 0.01]))
+        ratio = abs(params[0]) / abs(params[1])
+        assert 0.5 < ratio < 2.0
+
+    def test_per_parameter_step_counts_with_mask(self):
+        """A frozen parameter's bias correction must not advance."""
+        params = np.array([0.0, 0.0])
+        opt = Adam(lr=0.1)
+        opt.step(params, np.array([1.0, 1.0]))
+        for _ in range(5):
+            opt.step(params, np.array([1.0, 0.0]),
+                     mask=np.array([True, False]))
+        assert opt._t[0] == 6
+        assert opt._t[1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.1, betas=(1.0, 0.9))
+        with pytest.raises(ValueError):
+            Adam(lr=0.1, eps=0.0)
+
+    def test_convergence_on_quadratic(self):
+        """Adam minimizes a simple quadratic reliably."""
+        params = np.array([5.0, -3.0])
+        opt = Adam(lr=0.2)
+        for _ in range(300):
+            opt.step(params, 2 * params)  # grad of ||x||^2
+        assert np.linalg.norm(params) < 0.05
+
+
+class TestFactory:
+    def test_make_optimizer(self):
+        assert isinstance(make_optimizer("sgd", 0.1), SGD)
+        assert isinstance(make_optimizer("momentum", 0.1), Momentum)
+        assert isinstance(make_optimizer("adam", 0.1), Adam)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_optimizer("rmsprop", 0.1)
+
+
+class TestSchedulers:
+    def test_cosine_endpoints(self):
+        """Paper setting: 0.3 at the start, 0.03 at the end."""
+        opt = SGD(lr=1.0)
+        sched = CosineScheduler(opt, total_steps=100,
+                                lr_max=0.3, lr_min=0.03)
+        assert np.isclose(sched.lr_at(0), 0.3)
+        assert np.isclose(sched.lr_at(99), 0.03)
+
+    def test_cosine_monotone_decreasing(self):
+        sched = CosineScheduler(SGD(lr=1.0), total_steps=50)
+        rates = [sched.lr_at(step) for step in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_step_pushes_lr_into_optimizer(self):
+        opt = SGD(lr=1.0)
+        sched = CosineScheduler(opt, total_steps=10,
+                                lr_max=0.3, lr_min=0.03)
+        sched.step()
+        assert np.isclose(opt.lr, 0.3)
+
+    def test_cosine_validation(self):
+        with pytest.raises(ValueError):
+            CosineScheduler(SGD(lr=1.0), total_steps=10,
+                            lr_max=0.01, lr_min=0.3)
+
+    def test_constant(self):
+        opt = SGD(lr=0.05)
+        sched = ConstantScheduler(opt, total_steps=5)
+        for _ in range(5):
+            assert np.isclose(sched.step(), 0.05)
+
+    def test_step_decay(self):
+        opt = SGD(lr=0.8)
+        sched = StepDecayScheduler(opt, total_steps=10, period=2, gamma=0.5)
+        assert np.isclose(sched.lr_at(0), 0.8)
+        assert np.isclose(sched.lr_at(2), 0.4)
+        assert np.isclose(sched.lr_at(5), 0.2)
+
+    def test_step_decay_validation(self):
+        with pytest.raises(ValueError):
+            StepDecayScheduler(SGD(lr=1.0), 10, period=0)
+        with pytest.raises(ValueError):
+            StepDecayScheduler(SGD(lr=1.0), 10, period=2, gamma=0.0)

@@ -1,0 +1,206 @@
+"""Tests for the parameter-shift gradient engine (the paper's core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, get_architecture
+from repro.gradients import (
+    SHIFT,
+    adjoint_engine_jacobian,
+    build_shifted_circuits,
+    check_shiftable,
+    parameter_shift_forward_and_jacobian,
+    parameter_shift_jacobian,
+)
+from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
+from repro.hardware import IdealBackend, NoisyBackend
+
+
+class TestExactness:
+    """Eq. 2 is exact: on a noise-free backend parameter shift must equal
+    the analytic adjoint Jacobian to machine precision."""
+
+    @pytest.mark.parametrize(
+        "task", ["mnist2", "mnist4", "fashion4", "vowel4"]
+    )
+    def test_matches_adjoint_on_all_architectures(self, task):
+        architecture = get_architecture(task)
+        rng = np.random.default_rng(17)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, architecture.n_features),
+            rng.uniform(-np.pi, np.pi, architecture.num_parameters),
+        )
+        backend = IdealBackend(exact=True)
+        shift_jac = parameter_shift_jacobian(circuit, backend)
+        adjoint_jac = adjoint_engine_jacobian(circuit)
+        assert np.allclose(shift_jac, adjoint_jac, atol=1e-12)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_at_random_parameters(self, seed):
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(seed)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-2 * np.pi, 2 * np.pi, 8)
+        )
+        backend = IdealBackend(exact=True)
+        assert np.allclose(
+            parameter_shift_jacobian(circuit, backend),
+            adjoint_engine_jacobian(circuit),
+            atol=1e-12,
+        )
+
+    def test_single_gate_closed_form(self):
+        """d<Z>/dtheta of RY on |0> is -sin(theta), exactly."""
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("ry", 0, 0)
+        circuit.bind([1.234])
+        jac = parameter_shift_jacobian(circuit, IdealBackend(exact=True))
+        assert np.isclose(jac[0, 0], -np.sin(1.234), atol=1e-12)
+
+    def test_shift_is_macroscopic_not_numerical(self):
+        assert np.isclose(SHIFT, np.pi / 2)
+
+
+class TestSharedParameters:
+    def test_multi_occurrence_gradient_summed(self):
+        """One parameter in two gates: per-gate shifts summed (Sec. 3.1)."""
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.bind([0.4])
+        jac = parameter_shift_jacobian(circuit, IdealBackend(exact=True))
+        # f(theta) = cos(2 theta); df/dtheta = -2 sin(2 theta).
+        assert np.isclose(jac[0, 0], -2 * np.sin(0.8), atol=1e-12)
+
+    def test_shifted_circuit_count(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.bind([0.4])
+        shifted, index_map = build_shifted_circuits(circuit, [0])
+        assert len(shifted) == 4  # 2 occurrences x (plus, minus)
+        assert [i for i, _ in index_map] == [0, 0]
+
+
+class TestSubsetSelection:
+    def test_unselected_columns_zero(self):
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(3)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-1, 1, 8)
+        )
+        backend = IdealBackend(exact=True)
+        jac = parameter_shift_jacobian(circuit, backend,
+                                       param_indices=[1, 5])
+        full = adjoint_engine_jacobian(circuit)
+        assert np.allclose(jac[:, [1, 5]], full[:, [1, 5]], atol=1e-12)
+        untouched = [0, 2, 3, 4, 6, 7]
+        assert np.allclose(jac[:, untouched], 0.0)
+
+    def test_empty_selection_runs_no_circuits(self):
+        architecture = get_architecture("mnist2")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(8))
+        backend = IdealBackend(exact=True)
+        jac = parameter_shift_jacobian(circuit, backend, param_indices=[])
+        assert np.allclose(jac, 0.0)
+        assert backend.meter.circuits == 0
+
+    def test_circuit_cost_scales_with_selection(self):
+        """Pruning k of n parameters saves exactly 2k circuit runs."""
+        architecture = get_architecture("mnist2")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(8))
+        backend = IdealBackend(exact=True)
+        parameter_shift_jacobian(circuit, backend, param_indices=[0, 1, 2])
+        assert backend.meter.circuits == 6  # 3 params x 2 shifts
+
+    def test_unused_parameter_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("rx", 0, 0)
+        circuit.bind([0.1])
+        with pytest.raises(ValueError, match="unused"):
+            check_shiftable(circuit, [3])
+
+    def test_non_shift_gate_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("phase", 0, 0)
+        circuit.bind([0.1])
+        with pytest.raises(ValueError, match="does not cover"):
+            parameter_shift_jacobian(circuit, IdealBackend(exact=True))
+
+
+class TestForwardAndJacobian:
+    def test_forward_matches_direct_run(self):
+        architecture = get_architecture("vowel4")
+        rng = np.random.default_rng(5)
+        circuit = architecture.full_circuit(
+            rng.uniform(-1, 1, 10), rng.uniform(-1, 1, 16)
+        )
+        backend = IdealBackend(exact=True)
+        forward, jacobian = parameter_shift_forward_and_jacobian(
+            circuit, backend
+        )
+        direct = IdealBackend(exact=True).expectations([circuit])[0]
+        assert np.allclose(forward, direct)
+        assert jacobian.shape == (4, 16)
+
+    def test_purposes_metered_separately(self):
+        architecture = get_architecture("mnist2")
+        circuit = architecture.full_circuit(np.zeros(16), np.zeros(8))
+        backend = IdealBackend(exact=True)
+        parameter_shift_forward_and_jacobian(circuit, backend)
+        assert backend.meter.by_purpose["forward"] == 1
+        assert backend.meter.by_purpose["gradient"] == 16
+
+
+class TestBatchJacobians:
+    def test_batch_matches_individual(self):
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(11)
+        circuits = [
+            architecture.full_circuit(
+                rng.uniform(0, np.pi, 16), rng.uniform(-1, 1, 8)
+            )
+            for _ in range(3)
+        ]
+        backend = IdealBackend(exact=True)
+        batch = parameter_shift_jacobian_batch(circuits, backend)
+        for circuit, jacobian in zip(circuits, batch):
+            solo = parameter_shift_jacobian(
+                circuit, IdealBackend(exact=True)
+            )
+            assert np.allclose(jacobian, solo, atol=1e-12)
+
+    def test_batch_single_submission(self):
+        architecture = get_architecture("mnist2")
+        circuits = [
+            architecture.full_circuit(np.zeros(16), np.zeros(8))
+            for _ in range(4)
+        ]
+        backend = IdealBackend(exact=True)
+        parameter_shift_jacobian_batch(circuits, backend)
+        # 4 circuits x 8 params x 2 shifts, one metered purpose.
+        assert backend.meter.circuits == 64
+        assert backend.meter.by_purpose == {"gradient": 64}
+
+    def test_empty_batch(self):
+        assert parameter_shift_jacobian_batch([], IdealBackend()) == []
+
+
+class TestOnNoisyBackend:
+    def test_noisy_gradients_close_but_not_exact(self):
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(23)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16), rng.uniform(-1, 1, 8)
+        )
+        backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        noisy = parameter_shift_jacobian(circuit, backend, shots=4096)
+        exact = adjoint_engine_jacobian(circuit)
+        error = np.abs(noisy - exact)
+        assert error.max() > 1e-4   # noise is present
+        assert error.max() < 0.35   # but bounded

@@ -1,0 +1,153 @@
+"""Cross-module property-based tests (hypothesis).
+
+Randomized invariants that tie subsystems together: simulator agreement,
+shift-rule exactness on arbitrary layered circuits, channel physicality
+under composition, and pruning accounting under arbitrary schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, build_layered_ansatz
+from repro.gradients import parameter_shift_jacobian
+from repro.hardware import IdealBackend
+from repro.noise import noise_model_for
+from repro.pruning import GradientPruner, PruningHyperparams
+from repro.sim import DensityMatrix, Statevector, adjoint_jacobian
+
+LAYERS = st.lists(
+    st.sampled_from(["rx", "ry", "rz", "rzz", "rxx", "rzx", "cz"]),
+    min_size=1, max_size=5,
+)
+
+
+def random_bound_ansatz(layers, seed, n_qubits=3):
+    circuit = build_layered_ansatz(n_qubits, layers)
+    rng = np.random.default_rng(seed)
+    if circuit.num_parameters:
+        circuit.bind(rng.uniform(-np.pi, np.pi, circuit.num_parameters))
+    return circuit
+
+
+class TestSimulatorAgreement:
+    @given(layers=LAYERS, seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_density_matches_statevector_on_pure_circuits(
+        self, layers, seed
+    ):
+        circuit = random_bound_ansatz(layers, seed)
+        sv = Statevector(3).evolve(circuit)
+        dm = DensityMatrix(3).evolve(circuit)
+        assert np.allclose(
+            dm.probabilities(), sv.probabilities(), atol=1e-10
+        )
+        assert np.allclose(
+            dm.expectation_z(), sv.expectation_z(), atol=1e-10
+        )
+
+    @given(layers=LAYERS, seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_noisy_evolution_stays_physical(self, layers, seed):
+        """Trace 1, expectations in [-1, 1], purity in (0, 1]."""
+        circuit = random_bound_ansatz(layers, seed)
+        model = noise_model_for("ibmq_jakarta")
+        rho = DensityMatrix(3).evolve(circuit, model)
+        assert np.isclose(rho.trace(), 1.0, atol=1e-8)
+        assert np.all(np.abs(rho.expectation_z()) <= 1.0 + 1e-9)
+        assert 0.0 < rho.purity() <= 1.0 + 1e-9
+
+    @given(layers=LAYERS, seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_noise_never_increases_purity(self, layers, seed):
+        circuit = random_bound_ansatz(layers, seed)
+        clean = DensityMatrix(3).evolve(circuit)
+        noisy = DensityMatrix(3).evolve(
+            circuit, noise_model_for("ibmq_lima")
+        )
+        assert noisy.purity() <= clean.purity() + 1e-9
+
+
+class TestShiftRuleExactness:
+    @given(layers=LAYERS, seed=st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_parameter_shift_equals_adjoint_everywhere(self, layers, seed):
+        circuit = random_bound_ansatz(layers, seed)
+        if circuit.num_parameters == 0:
+            return
+        shift = parameter_shift_jacobian(circuit, IdealBackend(exact=True))
+        adjoint = adjoint_jacobian(circuit)
+        assert np.allclose(shift, adjoint, atol=1e-11)
+
+    @given(
+        theta=st.floats(min_value=-2 * np.pi, max_value=2 * np.pi),
+        offset=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance_under_reparameterization(self, theta, offset):
+        """Shifting a gate occurrence == shifting the bound parameter."""
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("ry", 0, 0)
+        circuit.bind([theta])
+        shifted_occurrence = circuit.shifted(0, offset)
+        rebound = circuit.bound([theta + offset])
+        sv_a = Statevector(1).evolve(shifted_occurrence)
+        sv_b = Statevector(1).evolve(rebound)
+        assert np.isclose(sv_a.fidelity(sv_b), 1.0, atol=1e-12)
+
+
+class TestPrunerAccounting:
+    @given(
+        wa=st.integers(1, 4),
+        wp=st.integers(0, 4),
+        ratio=st.floats(min_value=0.0, max_value=0.9),
+        n_params=st.integers(2, 30),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_savings_bounded_by_formula(self, wa, wp, ratio, n_params, seed):
+        """Empirical savings never exceed the theoretical fraction by
+        more than one keep-count rounding step."""
+        hyper = PruningHyperparams(wa, wp, ratio)
+        pruner = GradientPruner(n_params, hyper, seed=seed)
+        rng = np.random.default_rng(seed)
+        stages = 3
+        for _ in range(stages * hyper.stage_length):
+            pruner.select()
+            pruner.observe(rng.uniform(0, 1, n_params))
+        rounding_slack = 1.0 / n_params + 1e-9
+        assert (
+            abs(pruner.empirical_savings - hyper.time_saved_fraction)
+            <= hyper.pruning_window / hyper.stage_length * rounding_slack
+            + 1e-9
+        )
+
+    @given(
+        ratio=st.floats(min_value=0.05, max_value=0.95),
+        n_params=st.integers(2, 50),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_selection_counts_exact(self, ratio, n_params, seed):
+        from repro.pruning import keep_count, probabilistic_subset
+
+        rng = np.random.default_rng(seed)
+        magnitudes = rng.uniform(0, 1, n_params)
+        subset = probabilistic_subset(magnitudes, ratio, rng)
+        assert subset.size == keep_count(n_params, ratio)
+
+
+class TestEncoderRoundTrip:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_inputs_distinct_states(self, seed):
+        from repro.circuits import encode_image16
+
+        rng = np.random.default_rng(seed)
+        x_a = rng.uniform(0.2, np.pi - 0.2, 16)
+        x_b = x_a + rng.uniform(0.3, 0.6, 16)
+        sv_a = Statevector(4).evolve(encode_image16(x_a))
+        sv_b = Statevector(4).evolve(encode_image16(np.clip(x_b, 0, np.pi)))
+        assert sv_a.fidelity(sv_b) < 1.0 - 1e-6

@@ -1,0 +1,279 @@
+"""Tests for probabilistic gradient pruning (accumulator, samplers,
+schedule, pruner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pruning import (
+    GradientPruner,
+    MagnitudeAccumulator,
+    NoPruner,
+    Phase,
+    PruningHyperparams,
+    PruningScheduleState,
+    deterministic_subset,
+    keep_count,
+    probabilistic_subset,
+)
+
+
+class TestAccumulator:
+    def test_accumulates_absolute_values(self):
+        acc = MagnitudeAccumulator(3)
+        acc.update(np.array([1.0, -2.0, 0.5]))
+        acc.update(np.array([-1.0, 1.0, 0.0]))
+        assert np.allclose(acc.magnitudes, [2.0, 3.0, 0.5])
+        assert acc.updates == 2
+
+    def test_reset(self):
+        acc = MagnitudeAccumulator(2)
+        acc.update(np.array([1.0, 1.0]))
+        acc.reset()
+        assert np.allclose(acc.magnitudes, 0.0)
+        assert acc.updates == 0
+
+    def test_distribution_normalized(self):
+        acc = MagnitudeAccumulator(4)
+        acc.update(np.array([1.0, 3.0, 0.0, 0.0]))
+        dist = acc.distribution()
+        assert np.isclose(dist.sum(), 1.0)
+        assert np.allclose(dist, [0.25, 0.75, 0.0, 0.0])
+
+    def test_empty_distribution_uniform(self):
+        dist = MagnitudeAccumulator(4).distribution()
+        assert np.allclose(dist, 0.25)
+
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            MagnitudeAccumulator(3).update(np.zeros(4))
+
+
+class TestKeepCount:
+    def test_paper_settings(self):
+        assert keep_count(8, 0.5) == 4
+        assert keep_count(36, 0.5) == 18
+        assert keep_count(24, 0.7) == 7  # round(0.3*24)
+
+    def test_edge_ratios(self):
+        assert keep_count(8, 0.0) == 8
+        assert keep_count(8, 1.0) == 0
+
+    def test_never_below_one_for_partial_ratio(self):
+        assert keep_count(3, 0.99) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            keep_count(0, 0.5)
+        with pytest.raises(ValueError):
+            keep_count(4, 1.5)
+
+
+class TestProbabilisticSampler:
+    @given(
+        seed=st.integers(0, 1000),
+        ratio=st.floats(min_value=0.0, max_value=0.9),
+        n=st.integers(2, 40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_subset_well_formed(self, seed, ratio, n):
+        rng = np.random.default_rng(seed)
+        magnitudes = rng.uniform(0, 1, n)
+        subset = probabilistic_subset(magnitudes, ratio, rng)
+        assert subset.size == keep_count(n, ratio)
+        assert len(set(subset.tolist())) == subset.size  # no duplicates
+        assert np.all((0 <= subset) & (subset < n))
+        assert np.all(np.diff(subset) > 0)  # sorted
+
+    def test_biased_towards_large_magnitudes(self):
+        """Large-magnitude parameters are selected far more often."""
+        magnitudes = np.array([10.0, 10.0, 0.1, 0.1])
+        rng = np.random.default_rng(0)
+        hits = np.zeros(4)
+        for _ in range(500):
+            hits[probabilistic_subset(magnitudes, 0.5, rng)] += 1
+        assert hits[0] > 3 * hits[2]
+        assert hits[1] > 3 * hits[3]
+
+    def test_every_parameter_retains_a_chance(self):
+        """Unlike top-k, probabilistic sampling eventually picks small
+        magnitudes too (the degree-of-freedom argument of Sec. 4.3)."""
+        magnitudes = np.array([10.0, 5.0, 1.0, 0.05])
+        rng = np.random.default_rng(1)
+        hits = np.zeros(4)
+        for _ in range(2000):
+            hits[probabilistic_subset(magnitudes, 0.5, rng)] += 1
+        assert hits.min() > 0
+
+    def test_zero_magnitudes_fall_back_to_uniform(self):
+        rng = np.random.default_rng(2)
+        subset = probabilistic_subset(np.zeros(6), 0.5, rng)
+        assert subset.size == 3
+
+    def test_more_draws_than_nonzero_weights(self):
+        magnitudes = np.array([1.0, 0.0, 0.0, 0.0])
+        rng = np.random.default_rng(3)
+        subset = probabilistic_subset(magnitudes, 0.25, rng)
+        assert subset.size == 3  # padded past the single nonzero weight
+
+    def test_ratio_one_empty(self):
+        subset = probabilistic_subset(
+            np.ones(4), 1.0, np.random.default_rng(0)
+        )
+        assert subset.size == 0
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ValueError):
+            probabilistic_subset(
+                np.array([-1.0, 1.0]), 0.5, np.random.default_rng(0)
+            )
+
+
+class TestDeterministicSampler:
+    def test_top_k_selected(self):
+        magnitudes = np.array([0.1, 5.0, 3.0, 0.2])
+        assert deterministic_subset(magnitudes, 0.5).tolist() == [1, 2]
+
+    def test_tie_break_by_index(self):
+        magnitudes = np.array([1.0, 1.0, 1.0, 1.0])
+        assert deterministic_subset(magnitudes, 0.5).tolist() == [0, 1]
+
+    def test_fully_deterministic(self):
+        magnitudes = np.random.default_rng(0).uniform(size=20)
+        first = deterministic_subset(magnitudes, 0.4)
+        second = deterministic_subset(magnitudes, 0.4)
+        assert np.array_equal(first, second)
+
+
+class TestHyperparams:
+    def test_paper_savings_formula(self):
+        """Savings = r * w_p / (w_a + w_p), Sec. 3.3."""
+        hp = PruningHyperparams(1, 2, 0.5)
+        assert np.isclose(hp.time_saved_fraction, 0.5 * 2 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PruningHyperparams(0, 2, 0.5)
+        with pytest.raises(ValueError):
+            PruningHyperparams(1, -1, 0.5)
+        with pytest.raises(ValueError):
+            PruningHyperparams(1, 2, 1.5)
+
+
+class TestScheduleState:
+    def test_phase_sequence_wa1_wp2(self):
+        state = PruningScheduleState(PruningHyperparams(1, 2, 0.5))
+        phases = [state.phase_at(t) for t in range(6)]
+        expected = [
+            Phase.ACCUMULATE, Phase.PRUNE, Phase.PRUNE,
+            Phase.ACCUMULATE, Phase.PRUNE, Phase.PRUNE,
+        ]
+        assert phases == expected
+
+    def test_stage_index(self):
+        state = PruningScheduleState(PruningHyperparams(2, 3, 0.5))
+        assert state.stage_at(0) == 0
+        assert state.stage_at(4) == 0
+        assert state.stage_at(5) == 1
+
+    def test_stage_start(self):
+        state = PruningScheduleState(PruningHyperparams(1, 2, 0.5))
+        assert state.is_stage_start(0)
+        assert not state.is_stage_start(1)
+        assert state.is_stage_start(3)
+
+    def test_negative_step_rejected(self):
+        state = PruningScheduleState(PruningHyperparams(1, 2, 0.5))
+        with pytest.raises(ValueError):
+            state.phase_at(-1)
+
+
+class TestGradientPruner:
+    def test_accumulation_steps_select_everything(self):
+        pruner = GradientPruner(8, PruningHyperparams(1, 2, 0.5), seed=0)
+        selected = pruner.select()
+        assert selected.tolist() == list(range(8))
+
+    def test_pruning_steps_select_subset(self):
+        pruner = GradientPruner(8, PruningHyperparams(1, 2, 0.5), seed=0)
+        pruner.select()
+        pruner.observe(np.linspace(1, 8, 8))
+        subset = pruner.select()
+        assert subset.size == 4
+        pruner.observe(np.zeros(8))
+
+    def test_observe_before_select_rejected(self):
+        pruner = GradientPruner(4, PruningHyperparams(1, 1, 0.5), seed=0)
+        with pytest.raises(RuntimeError):
+            pruner.observe(np.zeros(4))
+
+    def test_pruning_observations_do_not_accumulate(self):
+        """Alg. 1: the accumulator only collects in the accumulation
+        window."""
+        pruner = GradientPruner(4, PruningHyperparams(1, 2, 0.5), seed=0)
+        pruner.select()
+        pruner.observe(np.array([4.0, 3.0, 2.0, 1.0]))
+        dist_after_accumulation = pruner.distribution()
+        pruner.select()
+        pruner.observe(np.array([100.0, 100.0, 100.0, 100.0]))
+        assert np.allclose(pruner.distribution(), dist_after_accumulation)
+
+    def test_accumulator_resets_each_stage(self):
+        pruner = GradientPruner(2, PruningHyperparams(1, 1, 0.5), seed=0)
+        pruner.select()
+        pruner.observe(np.array([5.0, 0.0]))
+        pruner.select()
+        pruner.observe(np.zeros(2))
+        # New stage: accumulation step resets, then records fresh values.
+        pruner.select()
+        pruner.observe(np.array([0.0, 7.0]))
+        assert np.allclose(pruner.distribution(), [0.0, 1.0])
+
+    def test_empirical_savings_match_formula(self):
+        hp = PruningHyperparams(1, 2, 0.5)
+        pruner = GradientPruner(8, hp, seed=0)
+        for _ in range(30):
+            selected = pruner.select()
+            pruner.observe(np.random.default_rng(0).uniform(size=8))
+        assert np.isclose(
+            pruner.empirical_savings, hp.time_saved_fraction, atol=0.02
+        )
+
+    def test_deterministic_sampler_used(self):
+        pruner = GradientPruner(
+            4, PruningHyperparams(1, 1, 0.5), sampler="deterministic",
+        )
+        pruner.select()
+        pruner.observe(np.array([0.1, 9.0, 5.0, 0.2]))
+        assert pruner.select().tolist() == [1, 2]
+
+    def test_unknown_sampler_rejected(self):
+        with pytest.raises(ValueError, match="sampler"):
+            GradientPruner(4, sampler="magic")
+
+    def test_seeded_reproducibility(self):
+        def run(seed):
+            pruner = GradientPruner(
+                8, PruningHyperparams(1, 2, 0.5), seed=seed
+            )
+            picks = []
+            for _ in range(6):
+                selected = pruner.select()
+                picks.append(selected.tolist())
+                pruner.observe(np.linspace(1, 2, 8))
+            return picks
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestNoPruner:
+    def test_selects_everything_always(self):
+        pruner = NoPruner(5)
+        for _ in range(3):
+            assert pruner.select().tolist() == list(range(5))
+            pruner.observe(np.zeros(5))
+        assert pruner.empirical_savings == 0.0

@@ -1,0 +1,177 @@
+"""Tests for the complexity / runtime scaling models (Fig. 2a, Fig. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    QuantumRuntimeModel,
+    quantum_memory_gb,
+    quantum_runtime_seconds,
+)
+from repro.noise import get_calibration
+from repro.scaling import (
+    CircuitWorkload,
+    advantage_factor,
+    build_benchmark_circuit,
+    classical_memory_gb,
+    classical_ops,
+    classical_registers,
+    complexity_table,
+    crossover_qubits,
+    fit_classical_runtime,
+    measure_classical_seconds,
+    quantum_ops,
+    quantum_registers,
+    runtime_table,
+)
+
+
+class TestCostModel:
+    def test_classical_regs_exponential(self):
+        assert classical_registers(10) == 2 * 2**10
+        assert classical_registers(11) / classical_registers(10) == 2.0
+
+    def test_quantum_regs_linear(self):
+        assert quantum_registers(10) == 10.0
+        assert quantum_registers(40) == 40.0
+
+    def test_classical_ops_double_per_qubit(self):
+        ratio = classical_ops(20) / classical_ops(19)
+        assert np.isclose(ratio, 2.0)
+
+    def test_quantum_ops_near_constant(self):
+        """Quantum op count grows at most linearly (routing)."""
+        ratio = quantum_ops(40) / quantum_ops(20)
+        assert ratio < 3.0
+
+    def test_complexity_table_structure(self):
+        table = complexity_table([4, 8, 12])
+        assert table["qubits"].tolist() == [4, 8, 12]
+        assert np.all(np.diff(table["classical_ops"]) > 0)
+
+    def test_fig2a_shape_classical_overtakes(self):
+        """Classical ops explode past quantum ops as qubits grow."""
+        table = complexity_table(list(range(2, 41, 2)))
+        cross = crossover_qubits(
+            table["qubits"], table["classical_ops"], table["quantum_ops"]
+        )
+        assert cross is not None
+        assert 4 <= cross <= 30
+        # At 40 qubits classical is astronomically more expensive.
+        factor = advantage_factor(
+            table["qubits"], table["classical_ops"],
+            table["quantum_ops"], 40,
+        )
+        assert factor > 1e4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classical_ops(0)
+        with pytest.raises(ValueError):
+            quantum_registers(0)
+
+
+class TestRuntimeModel:
+    def test_benchmark_circuit_gate_counts(self):
+        circuit = build_benchmark_circuit(8)
+        counts = circuit.count_ops()
+        assert counts["rzz"] == 32
+        assert counts["rx"] + counts["ry"] + counts["rz"] == 16
+
+    def test_measure_classical_seconds_positive(self):
+        assert measure_classical_seconds(6, n_circuits=2) > 0
+
+    def test_classical_memory_exponential(self):
+        assert classical_memory_gb(31) / classical_memory_gb(30) == 2.0
+        # ~34 GB at 30 qubits for two complex128 buffers.
+        assert 25 < classical_memory_gb(30) < 50
+
+    def test_quantum_memory_negligible(self):
+        assert quantum_memory_gb(40) < 0.1
+
+    def test_fit_extrapolates_exponentially(self):
+        fit = fit_classical_runtime(
+            measure_qubits=[6, 8, 10], n_circuits=1
+        )
+        assert fit.coeff > 0
+        ratio = fit(np.array([30]))[0] / fit(np.array([29]))[0]
+        assert 1.9 < ratio < 2.1
+
+    def test_runtime_table_fig8_shape(self):
+        """The headline claim: crossover in the mid-to-high 20s."""
+        fit = fit_classical_runtime(
+            measure_qubits=[6, 8, 10, 12], n_circuits=1
+        )
+        table = runtime_table(fit=fit)
+        cross = crossover_qubits(
+            table["qubits"], table["classical_runtime_s"],
+            table["quantum_runtime_s"],
+        )
+        assert cross is not None
+        assert 20 <= cross <= 34
+        memory_cross = crossover_qubits(
+            table["qubits"], table["classical_memory_gb"],
+            table["quantum_memory_gb"],
+        )
+        assert memory_cross is not None
+
+    def test_quantum_runtime_near_linear(self):
+        r20 = quantum_runtime_seconds(20)
+        r40 = quantum_runtime_seconds(40)
+        assert r40 < 4 * r20  # far from exponential
+
+    def test_device_runtime_model(self):
+        model = QuantumRuntimeModel(get_calibration("ibmq_santiago"))
+        single = model.circuit_seconds(20, 10, shots=1024)
+        assert single > model.per_circuit_overhead_s
+        batch = model.batch_seconds(5, 20, 10, shots=1024)
+        assert np.isclose(batch, 5 * single)
+
+    def test_device_runtime_validation(self):
+        model = QuantumRuntimeModel(get_calibration("ibmq_santiago"))
+        with pytest.raises(ValueError):
+            model.circuit_seconds(-1, 0)
+        with pytest.raises(ValueError):
+            model.batch_seconds(0, 1, 1)
+
+
+class TestCrossover:
+    def test_basic_crossover(self):
+        qubits = np.array([1, 2, 3, 4])
+        classical = np.array([1.0, 2.0, 4.0, 8.0])
+        quantum = np.array([3.0, 3.0, 3.0, 3.0])
+        assert crossover_qubits(qubits, classical, quantum) == 3
+
+    def test_no_crossover(self):
+        qubits = np.array([1, 2, 3])
+        assert crossover_qubits(
+            qubits, np.array([1.0, 1, 1]), np.array([2.0, 2, 2])
+        ) is None
+
+    def test_transient_dip_ignored(self):
+        """Quantum must stay cheaper for good, not momentarily."""
+        qubits = np.array([1, 2, 3, 4])
+        classical = np.array([5.0, 1.0, 5.0, 8.0])
+        quantum = np.array([3.0, 3.0, 3.0, 3.0])
+        assert crossover_qubits(qubits, classical, quantum) == 3
+
+    def test_non_increasing_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_qubits(
+                np.array([2, 2]), np.ones(2), np.ones(2)
+            )
+
+    def test_advantage_factor_missing_point(self):
+        with pytest.raises(ValueError):
+            advantage_factor(np.array([1, 2]), np.ones(2), np.ones(2), 5)
+
+
+class TestWorkload:
+    def test_default_matches_paper(self):
+        workload = CircuitWorkload()
+        assert workload.n_rotation_gates == 16
+        assert workload.n_rzz_gates == 32
+        assert workload.n_circuits == 50
+        assert workload.shots == 1024

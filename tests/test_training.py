@@ -1,0 +1,287 @@
+"""Tests for heads, config, history, evaluator, and the TrainingEngine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_task
+from repro.hardware import IdealBackend, NoisyBackend
+from repro.pruning import PruningHyperparams
+from repro.training import (
+    EvalRecord,
+    StepRecord,
+    TrainingConfig,
+    TrainingEngine,
+    TrainingHistory,
+    evaluate_accuracy,
+    expectation_grad_from_logit_grad,
+    head_matrix,
+    logits_from_expectations,
+    predict_logits,
+)
+
+
+class TestHeads:
+    def test_four_class_head_is_identity(self):
+        assert np.allclose(head_matrix(4, 4), np.eye(4))
+
+    def test_two_class_head_sums_pairs(self):
+        """2-class: logits = (<Z0>+<Z1>, <Z2>+<Z3>), Sec. 4.1."""
+        matrix = head_matrix(4, 2)
+        assert np.allclose(matrix, [[1, 1, 0, 0], [0, 0, 1, 1]])
+
+    def test_logits_mapping(self):
+        expectations = np.array([0.1, 0.2, -0.3, 0.5])
+        assert np.allclose(
+            logits_from_expectations(expectations, 2), [0.3, 0.2]
+        )
+        assert np.allclose(
+            logits_from_expectations(expectations, 4), expectations
+        )
+
+    def test_batch_mapping(self):
+        expectations = np.tile([1.0, -1.0, 0.0, 0.0], (3, 1))
+        logits = logits_from_expectations(expectations, 2)
+        assert logits.shape == (3, 2)
+        assert np.allclose(logits[0], [0.0, 0.0])
+
+    def test_unsupported_head_rejected(self):
+        with pytest.raises(ValueError, match="no head"):
+            head_matrix(4, 3)
+
+    def test_gradient_pullback_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        logit_grad = rng.normal(size=2)
+        pulled = expectation_grad_from_logit_grad(logit_grad, 4)
+        # d logits / d expectations = A; pullback = A^T g.
+        expected = head_matrix(4, 2).T @ logit_grad
+        assert np.allclose(pulled, expected)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TrainingConfig()
+
+    def test_with_override(self):
+        config = TrainingConfig(steps=10)
+        other = config.with_(steps=20, optimizer="sgd")
+        assert other.steps == 20 and other.optimizer == "sgd"
+        assert config.steps == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(steps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(gradient_engine="magic")
+        with pytest.raises(ValueError):
+            TrainingConfig(eval_every=-1)
+
+
+class TestHistory:
+    def make_history(self):
+        history = TrainingHistory()
+        for step, (acc, infer) in enumerate(
+            [(0.5, 100), (0.7, 200), (0.65, 300)]
+        ):
+            history.record_eval(
+                EvalRecord(step=step, accuracy=acc, inferences=infer)
+            )
+        history.record_step(
+            StepRecord(step=0, loss=1.0, lr=0.3, n_selected=8,
+                       phase="full", inferences=100)
+        )
+        return history
+
+    def test_final_and_best(self):
+        history = self.make_history()
+        assert history.final_accuracy == 0.65
+        assert history.best_accuracy == 0.7
+
+    def test_inferences_to_reach(self):
+        history = self.make_history()
+        assert history.inferences_to_reach(0.6) == 200
+        assert history.inferences_to_reach(0.9) is None
+
+    def test_curves(self):
+        history = self.make_history()
+        inferences, accuracies = history.accuracy_curve()
+        assert inferences == [100, 200, 300]
+        assert accuracies == [0.5, 0.7, 0.65]
+        steps, losses = history.loss_curve()
+        assert steps == [0] and losses == [1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory().final_accuracy
+
+    def test_to_dict_roundtrippable(self):
+        dump = self.make_history().to_dict()
+        assert len(dump["evals"]) == 3
+        assert dump["steps"][0]["loss"] == 1.0
+
+
+class TestEvaluator:
+    def test_predict_logits_shape(self):
+        from repro.circuits import get_architecture
+
+        architecture = get_architecture("mnist2")
+        features = np.random.default_rng(0).uniform(0, np.pi, (5, 16))
+        logits = predict_logits(
+            architecture, np.zeros(8), features, IdealBackend(exact=True)
+        )
+        assert logits.shape == (5, 2)
+
+    def test_max_examples_subsampling(self):
+        from repro.circuits import get_architecture
+
+        architecture = get_architecture("mnist2")
+        _, val = load_task("mnist2", seed=0, train_size=10, val_size=30)
+        backend = IdealBackend(exact=True)
+        evaluate_accuracy(
+            architecture, np.zeros(8), val, backend, max_examples=10, seed=0
+        )
+        assert backend.meter.circuits == 10
+
+
+def tiny_config(**overrides) -> TrainingConfig:
+    base = dict(
+        task="mnist2", steps=6, batch_size=4, shots=512,
+        gradient_engine="adjoint", eval_every=0, eval_size=30, seed=0,
+    )
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+class TestTrainingEngine:
+    def test_loss_decreases_classically(self):
+        engine = TrainingEngine(
+            tiny_config(steps=20, batch_size=12),
+            IdealBackend(exact=True),
+        )
+        history = engine.train()
+        losses = [r.loss for r in history.steps]
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_reaches_above_chance_accuracy(self):
+        engine = TrainingEngine(
+            tiny_config(steps=25, batch_size=12), IdealBackend(exact=True)
+        )
+        history = engine.train()
+        assert history.final_accuracy > 0.7  # chance = 0.5
+
+    def test_parameter_shift_on_ideal_matches_adjoint_run(self):
+        """With exact backends, both engines follow identical paths."""
+        adjoint_engine = TrainingEngine(
+            tiny_config(), IdealBackend(exact=True)
+        )
+        shift_engine = TrainingEngine(
+            tiny_config(gradient_engine="parameter_shift"),
+            IdealBackend(exact=True),
+        )
+        adjoint_engine.train()
+        shift_engine.train()
+        assert np.allclose(
+            adjoint_engine.theta, shift_engine.theta, atol=1e-10
+        )
+
+    def test_inference_accounting_no_pruning(self):
+        """steps x batch x (1 forward + 2 x n_params gradients)."""
+        config = tiny_config(
+            gradient_engine="parameter_shift", steps=3, batch_size=2
+        )
+        backend = IdealBackend(exact=True)
+        engine = TrainingEngine(config, backend)
+        for _ in range(3):
+            engine.train_step()
+        expected = 3 * 2 * (1 + 2 * 8)
+        assert engine.training_inferences() == expected
+
+    def test_pruning_reduces_inferences(self):
+        full_engine = TrainingEngine(
+            tiny_config(gradient_engine="parameter_shift", steps=6),
+            IdealBackend(exact=True),
+        )
+        pgp_engine = TrainingEngine(
+            tiny_config(
+                gradient_engine="parameter_shift", steps=6,
+                pruning=PruningHyperparams(1, 2, 0.5),
+            ),
+            IdealBackend(exact=True),
+        )
+        for _ in range(6):
+            full_engine.train_step()
+            pgp_engine.train_step()
+        assert (
+            pgp_engine.training_inferences()
+            < full_engine.training_inferences()
+        )
+        # Savings land near r*w_p/(w_a+w_p) of the *gradient* circuits.
+        assert pgp_engine.pruner.empirical_savings > 0.2
+
+    def test_pruned_parameters_frozen_within_step(self):
+        config = tiny_config(
+            gradient_engine="adjoint",
+            pruning=PruningHyperparams(1, 2, 0.5),
+        )
+        engine = TrainingEngine(config, IdealBackend(exact=True))
+        engine.train_step()  # accumulation step: all params move
+        theta_before = engine.theta.copy()
+        record = engine.train_step()  # pruning step
+        assert record.phase == "prune"
+        moved = ~np.isclose(engine.theta, theta_before)
+        assert moved.sum() == record.n_selected
+
+    def test_step_records_have_monotone_inferences(self):
+        engine = TrainingEngine(
+            tiny_config(gradient_engine="parameter_shift"),
+            IdealBackend(exact=True),
+        )
+        history = engine.train()
+        inferences = [r.inferences for r in history.steps]
+        assert all(a < b for a, b in zip(inferences, inferences[1:]))
+
+    def test_eval_cadence(self):
+        engine = TrainingEngine(
+            tiny_config(steps=6, eval_every=2), IdealBackend(exact=True)
+        )
+        history = engine.train()
+        assert [r.step for r in history.evals] == [1, 3, 5]
+
+    def test_final_eval_always_recorded(self):
+        engine = TrainingEngine(
+            tiny_config(steps=5, eval_every=0), IdealBackend(exact=True)
+        )
+        history = engine.train()
+        assert len(history.evals) == 1
+        assert history.evals[0].step == 4
+
+    def test_separate_eval_backend(self):
+        """Train classically, validate on a noisy device (Table 1 row 2)."""
+        noisy = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        engine = TrainingEngine(
+            tiny_config(steps=4), IdealBackend(exact=True),
+            eval_backend=noisy,
+        )
+        engine.train()
+        assert noisy.meter.by_purpose.get("validation", 0) > 0
+        # Adjoint gradients need no circuits; only forward passes count.
+        assert engine.training_inferences() == 4 * 4  # steps x batch
+
+    def test_spsa_and_fd_engines_run(self):
+        for engine_name in ("spsa", "finite_difference"):
+            engine = TrainingEngine(
+                tiny_config(gradient_engine=engine_name, steps=2),
+                IdealBackend(exact=True),
+            )
+            engine.train_step()
+            assert engine.training_inferences() > 0
+
+    def test_vowel_task_runs(self):
+        engine = TrainingEngine(
+            tiny_config(task="vowel4", steps=2), IdealBackend(exact=True)
+        )
+        record = engine.train_step()
+        assert record.n_selected == 16

@@ -1,0 +1,173 @@
+"""Tests for basis decomposition and coupling-map routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BASIS_GATES,
+    CX_COST,
+    QuantumCircuit,
+    decompose_to_basis,
+    route,
+    transpile,
+)
+from repro.noise import get_calibration
+from repro.sim import Statevector
+
+
+def states_equal_up_to_phase(a: np.ndarray, b: np.ndarray) -> bool:
+    inner = np.vdot(a, b)
+    return np.isclose(abs(inner), 1.0, atol=1e-9)
+
+
+def build_rich_circuit() -> QuantumCircuit:
+    circuit = QuantumCircuit(3)
+    circuit.add("h", 0)
+    circuit.add("x", 1)
+    circuit.add("cz", (0, 1))
+    circuit.add("swap", (1, 2))
+    circuit.add_trainable("rzz", (0, 1), 0)
+    circuit.add_trainable("rxx", (1, 2), 1)
+    circuit.add_trainable("rzx", (0, 2), 2)
+    circuit.bind([0.4, -0.9, 1.3])
+    return circuit
+
+
+class TestDecomposition:
+    def test_output_uses_only_basis_gates(self):
+        decomposed = decompose_to_basis(build_rich_circuit())
+        assert set(decomposed.count_ops()) <= set(BASIS_GATES)
+
+    def test_state_preserved_up_to_global_phase(self):
+        circuit = build_rich_circuit()
+        original = Statevector(3).evolve(circuit).vector
+        decomposed = decompose_to_basis(circuit)
+        rewritten = Statevector(3).evolve(decomposed).vector
+        assert states_equal_up_to_phase(original, rewritten)
+
+    def test_trainable_linkage_preserved(self):
+        """The decomposed RZZ's inner RZ must track the same parameter."""
+        circuit = QuantumCircuit(2)
+        circuit.add_trainable("rzz", (0, 1), 0)
+        circuit.bind([0.5])
+        decomposed = decompose_to_basis(circuit)
+        trainables = [
+            t for t in decomposed.templates if t.param_index is not None
+        ]
+        assert len(trainables) == 1
+        assert trainables[0].name == "rz"
+        # Rebinding the decomposed circuit changes the state accordingly.
+        state_a = Statevector(2).evolve(decomposed.bound([0.5])).vector
+        state_b = Statevector(2).evolve(
+            QuantumCircuit(2).add("rzz", (0, 1), 0.5)
+        ).vector
+        assert states_equal_up_to_phase(state_a, state_b)
+
+    def test_gradients_survive_decomposition(self):
+        """Adjoint gradients agree before and after decomposition."""
+        from repro.sim import adjoint_jacobian
+
+        circuit = QuantumCircuit(2)
+        circuit.add("ry", 0, 0.3)
+        circuit.add_trainable("rzz", (0, 1), 0)
+        circuit.add_trainable("rxx", (0, 1), 1)
+        circuit.bind([0.7, -0.2])
+        original = adjoint_jacobian(circuit)
+        rewritten = adjoint_jacobian(decompose_to_basis(circuit))
+        assert np.allclose(original, rewritten, atol=1e-10)
+
+    def test_every_cx_cost_entry_has_known_gate(self):
+        from repro.sim.gates import GATES
+
+        assert set(CX_COST) <= set(GATES)
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("cx", (0, 1))
+        result = route(circuit, [(0, 1)], 2)
+        assert result.n_swaps == 0
+        assert result.final_layout == (0, 1)
+
+    def test_non_adjacent_gate_gets_swaps(self):
+        """A (0,2) gate on a 0-1-2 line needs one SWAP."""
+        circuit = QuantumCircuit(3)
+        circuit.add("cx", (0, 2))
+        result = route(circuit, [(0, 1), (1, 2)], 3)
+        assert result.n_swaps == 1
+        assert result.final_layout != (0, 1, 2)
+
+    def test_routed_circuit_equivalent_via_layout(self):
+        """Routed execution + layout permutation = logical execution."""
+        circuit = QuantumCircuit(3)
+        circuit.add("ry", 0, 0.3).add("ry", 1, 0.9).add("ry", 2, 1.4)
+        circuit.add("cx", (0, 2)).add("rzz", (2, 0), 0.8)
+        logical = Statevector(3).evolve(circuit).expectation_z()
+        result = route(circuit, [(0, 1), (1, 2)], 3)
+        physical = Statevector(3).evolve(result.circuit).expectation_z()
+        routed = np.array(
+            [physical[result.final_layout[q]] for q in range(3)]
+        )
+        assert np.allclose(routed, logical, atol=1e-10)
+
+    def test_disconnected_coupling_rejected(self):
+        circuit = QuantumCircuit(3)
+        circuit.add("cx", (0, 2))
+        with pytest.raises(ValueError, match="disconnected"):
+            route(circuit, [(0, 1)], 3)
+
+    def test_circuit_too_wide_rejected(self):
+        with pytest.raises(ValueError, match="device has"):
+            route(QuantumCircuit(5), [(0, 1)], 2)
+
+    def test_bad_initial_layout_rejected(self):
+        circuit = QuantumCircuit(2)
+        circuit.add("cx", (0, 1))
+        with pytest.raises(ValueError, match="permutation"):
+            route(circuit, [(0, 1)], 3, initial_layout=[0, 0])
+
+
+class TestFullTranspile:
+    def test_on_real_device_topology(self):
+        """The MNIST-2 ring ansatz on the linear santiago coupling map."""
+        from repro.circuits import get_architecture
+
+        architecture = get_architecture("mnist2")
+        rng = np.random.default_rng(0)
+        circuit = architecture.full_circuit(
+            rng.uniform(0, np.pi, 16),
+            rng.uniform(-1, 1, 8),
+        )
+        calibration = get_calibration("ibmq_santiago")
+        result = transpile(
+            circuit, calibration.coupling_map, calibration.n_qubits
+        )
+        assert set(result.circuit.count_ops()) <= set(BASIS_GATES)
+        # The (3,0) ring link is non-adjacent on a line: swaps required.
+        assert result.n_swaps >= 1
+
+        logical = Statevector(4).evolve(circuit).expectation_z()
+        physical = Statevector(5).evolve(result.circuit).expectation_z()
+        routed = np.array(
+            [physical[result.final_layout[q]] for q in range(4)]
+        )
+        assert np.allclose(routed, logical, atol=1e-9)
+
+    def test_all_two_qubit_gates_respect_coupling(self):
+        from repro.circuits import get_architecture
+
+        architecture = get_architecture("vowel4")
+        circuit = architecture.full_circuit(
+            np.linspace(0, 1, 10), np.linspace(-1, 1, 16)
+        )
+        calibration = get_calibration("ibmq_lima")
+        result = transpile(
+            circuit, calibration.coupling_map, calibration.n_qubits
+        )
+        edges = {tuple(sorted(e)) for e in calibration.coupling_map}
+        for template in result.circuit.templates:
+            if len(template.wires) == 2:
+                assert tuple(sorted(template.wires)) in edges
