@@ -1,0 +1,100 @@
+"""Throughput of the batched execution engine vs the sequential path.
+
+One parameter-shift training step — forward pass plus the full
+``2 x params x batch_size`` shifted-circuit Jacobian — on a scaled-up
+Vowel-4-style model (8 qubits, 40 trainable parameters: the paper's
+(RZZ, RXX) x 2 ring ansatz widened to 8 wires plus a closing RY layer).
+The step's ~1000 circuits all share one structure signature, so the
+batched ``IdealBackend`` evolves them as a handful of stacked-tensor
+contractions; the sequential baseline is the exact same backend with
+the fast path disabled.  Target: >= 5x end-to-end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from harness import format_table
+from repro.circuits import QuantumCircuit
+from repro.circuits.layers import build_layered_ansatz
+from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
+from repro.hardware import IdealBackend
+
+N_QUBITS = 8
+BATCH_SIZE = 12
+LAYERS = ["rzz", "rxx", "rzz", "rxx", "ry"]  # 8+8+8+8+8 = 40 params
+ROUNDS = 3
+TARGET_SPEEDUP = 5.0
+
+
+def build_training_batch() -> list[QuantumCircuit]:
+    rng = np.random.default_rng(7)
+    ansatz = build_layered_ansatz(N_QUBITS, LAYERS)
+    assert ansatz.num_parameters == 40
+    theta = rng.uniform(-1, 1, ansatz.num_parameters)
+    circuits = []
+    for _ in range(BATCH_SIZE):
+        encoder = QuantumCircuit(N_QUBITS)
+        for wire in range(N_QUBITS):
+            encoder.add("ry", wire, float(rng.uniform(0, np.pi)))
+        circuits.append(encoder.compose(ansatz.bound(theta)))
+    return circuits
+
+
+def training_step(backend, circuits) -> np.ndarray:
+    forward = backend.expectations(circuits, purpose="forward")
+    jacobians = parameter_shift_jacobian_batch(circuits, backend)
+    return forward, jacobians
+
+
+def time_step(batched: bool) -> tuple[float, int]:
+    """Best-of-ROUNDS wall time of one full training step."""
+    circuits = build_training_batch()
+    best = np.inf
+    circuits_run = 0
+    for _ in range(ROUNDS):
+        backend = IdealBackend(exact=True, batched=batched)
+        start = time.perf_counter()
+        training_step(backend, circuits)
+        best = min(best, time.perf_counter() - start)
+        circuits_run = backend.meter.circuits
+    return best, circuits_run
+
+
+def test_batched_training_step_speedup(benchmark):
+    sequential_s, n_circuits = benchmark.pedantic(
+        lambda: time_step(batched=False), rounds=1, iterations=1
+    )
+    batched_s, n_circuits_batched = time_step(batched=True)
+    assert n_circuits == n_circuits_batched  # identical work metered
+
+    speedup = sequential_s / batched_s
+    print()
+    print(format_table(
+        ["path", "step_s", "circuits", "circuits_per_s"],
+        [
+            ["sequential", sequential_s, n_circuits,
+             int(n_circuits / sequential_s)],
+            ["batched", batched_s, n_circuits,
+             int(n_circuits / batched_s)],
+        ],
+        title=(
+            f"Batched execution: {N_QUBITS}-qubit 40-parameter "
+            f"Vowel4-style training step (batch {BATCH_SIZE})"
+        ),
+    ))
+    print(f"speedup: {speedup:.1f}x (target: >= {TARGET_SPEEDUP:.0f}x)")
+    assert speedup >= TARGET_SPEEDUP
+
+
+def test_batched_results_match_sequential_on_benchmark_workload():
+    circuits = build_training_batch()
+    f_seq, j_seq = training_step(
+        IdealBackend(exact=True, batched=False), circuits
+    )
+    f_bat, j_bat = training_step(IdealBackend(exact=True), circuits)
+    assert np.array_equal(f_seq, f_bat)
+    for a, b in zip(j_seq, j_bat):
+        assert np.array_equal(a, b)

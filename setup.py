@@ -1,4 +1,42 @@
-"""Setup shim for environments without PEP 517 wheel support."""
-from setuptools import setup
+"""Packaging for the QOC reproduction (no PEP 517 backend required)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).parent
+_VERSION = re.search(
+    r'__version__ = "([^"]+)"',
+    (_HERE / "src" / "repro" / "version.py").read_text(),
+).group(1)
+
+setup(
+    name="repro-qoc",
+    version=_VERSION,
+    description=(
+        "Reproduction of 'QOC: quantum on-chip training with parameter "
+        "shift and gradient pruning' (DAC 2022) with a batched "
+        "statevector execution engine"
+    ),
+    long_description=(_HERE / "README.md").read_text()
+    if (_HERE / "README.md").exists()
+    else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering :: Physics",
+    ],
+)

@@ -10,6 +10,7 @@ from repro.circuits.ansatz import (
     QnnArchitecture,
     get_architecture,
 )
+from repro.circuits.batch import CircuitBatch, group_by_structure
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.drawer import draw
 from repro.circuits.encoders import (
@@ -39,6 +40,7 @@ __all__ = [
     "BASIS_GATES",
     "BoundOp",
     "CX_COST",
+    "CircuitBatch",
     "ENCODERS",
     "LAYER_BUILDERS",
     "OpTemplate",
@@ -55,6 +57,7 @@ __all__ = [
     "encode_vowel10",
     "get_architecture",
     "get_encoder",
+    "group_by_structure",
     "multiplexed_ry",
     "ring_pairs",
     "route",

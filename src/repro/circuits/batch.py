@@ -1,0 +1,148 @@
+"""Stacked same-structure circuits: the unit of batched execution.
+
+All the circuits the training loop generates in one backend submission —
+the forward circuits of a mini-batch, or the ``2 x |selected params|``
+parameter-shifted clones per example — share one structural template
+sequence and differ only in angle values.  ``CircuitBatch`` exploits
+that: it stacks the resolved angles of ``B`` same-structure circuits
+into per-operation arrays, so the batched simulator can evolve all
+``B`` statevectors through each gate with a single stacked contraction
+instead of ``B`` Python-level passes.
+
+``group_by_structure`` is the partitioning step of the backend fast
+path: it splits an arbitrary submission into same-structure groups
+while remembering each circuit's original position, so results can be
+reassembled in submission order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+
+
+class CircuitBatch:
+    """``B`` structurally identical circuits with stacked angles.
+
+    Args:
+        circuits: Non-empty sequence of :class:`QuantumCircuit` objects
+            that all share one :meth:`~QuantumCircuit.structure_signature`.
+
+    Attributes:
+        circuits: The wrapped circuits, in the order given.
+        n_qubits: Common qubit count.
+        templates: The common structural template sequence.
+        size: Batch size ``B``.
+    """
+
+    def __init__(self, circuits: Sequence[QuantumCircuit]):
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("CircuitBatch needs at least one circuit")
+        signature = circuits[0].structure_signature()
+        for circuit in circuits[1:]:
+            if circuit.structure_signature() != signature:
+                raise ValueError(
+                    "all circuits in a CircuitBatch must share one "
+                    "structure signature"
+                )
+        self.circuits = circuits
+        self.n_qubits = circuits[0].n_qubits
+        self.templates = circuits[0].templates
+        self.size = len(circuits)
+        # Per-op (B, num_params) arrays of resolved angles, plus a flag
+        # marking ops whose angles coincide across the whole batch (the
+        # simulator then builds one gate matrix instead of B).
+        self._op_params: list[np.ndarray | None] = []
+        self._op_uniform: list[bool] = []
+        self._stack_angles()
+
+    def _stack_angles(self) -> None:
+        rows = [c.templates for c in self.circuits]
+        thetas = [c.parameters for c in self.circuits]
+        for pos, template in enumerate(self.templates):
+            # Parameterless op: no literal params and no trainable slot.
+            if template.param_index is None and not template.params:
+                self._op_params.append(None)
+                self._op_uniform.append(True)
+                continue
+            if template.param_index is None:
+                # Fixed angles live in each circuit's own template copy.
+                values = np.array(
+                    [row[pos].params for row in rows], dtype=np.float64
+                )
+            else:
+                values = np.array(
+                    [
+                        [theta[row[pos].param_index] + row[pos].offset]
+                        for row, theta in zip(rows, thetas)
+                    ],
+                    dtype=np.float64,
+                )
+            self._op_params.append(values)
+            self._op_uniform.append(bool(np.all(values == values[0])))
+
+    # -- queries ---------------------------------------------------------
+
+    def num_operations(self) -> int:
+        """Gate count of the common structure."""
+        return len(self.templates)
+
+    def op_params(self, position: int) -> np.ndarray | None:
+        """Resolved ``(B, num_params)`` angles of op ``position``.
+
+        ``None`` for parameterless gates.
+        """
+        return self._op_params[position]
+
+    def op_is_uniform(self, position: int) -> bool:
+        """True when op ``position`` has one angle tuple batch-wide."""
+        return self._op_uniform[position]
+
+    @property
+    def angles(self) -> np.ndarray:
+        """Stacked first angles, shape ``(B, n_ops)``.
+
+        Parameterless ops contribute a 0.0 column; multi-parameter gates
+        (only ``u3`` in the registry) contribute their first angle — use
+        :meth:`op_params` for the full tuple.
+        """
+        out = np.zeros((self.size, len(self.templates)), dtype=np.float64)
+        for pos, values in enumerate(self._op_params):
+            if values is not None:
+                out[:, pos] = values[:, 0]
+        return out
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBatch({self.size} circuits, {self.n_qubits} qubits, "
+            f"{len(self.templates)} ops)"
+        )
+
+
+def group_by_structure(
+    circuits: Sequence[QuantumCircuit],
+) -> list[tuple[list[int], list[QuantumCircuit]]]:
+    """Partition circuits into same-structure groups, keeping positions.
+
+    Returns:
+        One ``(positions, members)`` pair per distinct structure, in
+        first-appearance order; ``positions`` are indices into the input
+        sequence so callers can scatter per-group results back into
+        submission order.
+    """
+    groups: dict[tuple, tuple[list[int], list[QuantumCircuit]]] = {}
+    for position, circuit in enumerate(circuits):
+        signature = circuit.structure_signature()
+        if signature not in groups:
+            groups[signature] = ([], [])
+        positions, members = groups[signature]
+        positions.append(position)
+        members.append(circuit)
+    return list(groups.values())

@@ -34,6 +34,7 @@ class QuantumCircuit:
         self.n_qubits = int(n_qubits)
         self._templates: list[OpTemplate] = []
         self._parameters = np.zeros(int(num_parameters), dtype=np.float64)
+        self._structure: tuple | None = None
 
     # -- building -------------------------------------------------------
 
@@ -46,6 +47,7 @@ class QuantumCircuit:
         self._templates.append(
             OpTemplate(name=name, wires=tuple(wires), params=tuple(params))
         )
+        self._structure = None
         return self
 
     def add_trainable(
@@ -61,6 +63,7 @@ class QuantumCircuit:
             name=name, wires=tuple(wires), param_index=int(param_index)
         )
         self._templates.append(template)
+        self._structure = None
         if param_index >= self._parameters.size:
             grown = np.zeros(param_index + 1, dtype=np.float64)
             grown[: self._parameters.size] = self._parameters
@@ -70,6 +73,7 @@ class QuantumCircuit:
     def append_template(self, template: OpTemplate) -> "QuantumCircuit":
         """Append a pre-built template (grows the parameter vector)."""
         self._templates.append(template)
+        self._structure = None
         if (
             template.param_index is not None
             and template.param_index >= self._parameters.size
@@ -112,6 +116,7 @@ class QuantumCircuit:
         out = QuantumCircuit(self.n_qubits, self.num_parameters)
         out._templates = list(self._templates)
         out._parameters = self._parameters.copy()
+        out._structure = self._structure
         return out
 
     # -- parameters -----------------------------------------------------
@@ -169,6 +174,42 @@ class QuantumCircuit:
                 )
             )
         return ops
+
+    def structure_signature(self) -> tuple:
+        """The circuit's structural identity, independent of angle values.
+
+        Two circuits share a signature exactly when their template
+        sequences agree on ``(name, wires, param_index)`` — the same
+        templates placed on the same wires reading the same parameter
+        slots.  Angle *values* (literal params, bound theta, shift
+        offsets) are deliberately excluded, so a circuit, all of its
+        parameter-shifted clones, and re-encodings of different data rows
+        through the same encoder all share one signature and can be
+        stacked into a single :class:`~repro.circuits.batch.CircuitBatch`.
+
+        The signature is cached; building operations invalidate it, and
+        :meth:`copy` / :meth:`shifted` propagate it (a shift changes only
+        the offset, never the structure).
+        """
+        if self._structure is None:
+            self._structure = (
+                self.n_qubits,
+                tuple(
+                    (t.name, t.wires, t.param_index)
+                    for t in self._templates
+                ),
+            )
+        return self._structure
+
+    def structure_key(self) -> int:
+        """Hash of :meth:`structure_signature`.
+
+        A compact fingerprint for logging and quick same-structure
+        checks.  Grouping must key on the full
+        :meth:`structure_signature` tuple (as ``group_by_structure``
+        does) — an int hash can collide.
+        """
+        return hash(self.structure_signature())
 
     def occurrences_of(self, param_index: int) -> list[int]:
         """Positions of all gates that consume parameter ``param_index``."""

@@ -27,7 +27,10 @@ def finite_difference_jacobian(
 
     Same calling convention and circuit-count cost as
     :func:`repro.gradients.parameter_shift_jacobian`, but approximate —
-    and with shot noise amplified by ``1/(2 eps)``.
+    and with shot noise amplified by ``1/(2 eps)``.  Like parameter
+    shift, all ``±eps`` clones share the base circuit's structure and go
+    to the backend as one submission, so batch-capable backends evolve
+    them as a single stacked tensor.
     """
     if eps <= 0:
         raise ValueError("eps must be positive")

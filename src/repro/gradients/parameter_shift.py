@@ -16,6 +16,14 @@ device's errors, which is precisely the effect gradient pruning targets.
 Cost: ``2 * (number of shifted gate occurrences)`` circuit executions per
 Jacobian — linear in parameter count, which is what makes on-chip training
 scale where classical simulation cannot.
+
+All shifted clones of one circuit share its structure signature (a shift
+changes an offset, never a template), so every function here submits its
+whole circuit list in a single ``backend.run`` call and lets the
+backend's structure-grouped fast path evolve the clones as one stacked
+tensor — on :class:`~repro.hardware.IdealBackend`, a handful of batched
+einsum-style contractions instead of thousands of per-circuit
+``tensordot`` passes.
 """
 
 from __future__ import annotations
@@ -124,7 +132,9 @@ def parameter_shift_jacobian_batch(
     The TrainingEngine differentiates every example of a mini-batch with
     the same pruned parameter subset; batching all shifted circuits into
     one ``backend.run`` call mirrors how jobs are batched to real devices
-    and amortizes per-call overhead.
+    and amortizes per-call overhead.  Because every clone shares the base
+    circuits' structure, the whole submission collapses into one stacked
+    evolution per distinct base structure on batch-capable backends.
 
     Returns:
         One ``(n_qubits, n_params)`` Jacobian per input circuit.

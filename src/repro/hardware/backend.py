@@ -10,8 +10,22 @@ every execution — Fig. 6's x-axis is *#inferences*, i.e. circuits run.
 * every call is metered by a :class:`CircuitRunMeter`, so experiments can
   report inference budgets exactly like the paper does.
 
-``IdealBackend`` is the noise-free simulator (with optional shot sampling);
-the noisy device emulator lives in :mod:`repro.hardware.noisy_backend`.
+Batched execution
+-----------------
+A backend that can evolve many same-structure circuits at once (stacked
+tensors, a vendor batch API, ...) overrides :meth:`Backend._execute_batch`.
+:meth:`Backend.run` then partitions each submission into same-structure
+groups via :meth:`QuantumCircuit.structure_signature` and hands every
+group to ``_execute_batch`` in one call — the parameter-shift gradient
+engine's thousands of shifted clones arrive as a handful of stacked
+evolutions instead of a Python loop.  Backends that don't override it
+(e.g. the density-matrix :class:`~repro.hardware.noisy_backend.
+NoisyBackend`) keep the exact sequential per-circuit behaviour, RNG
+stream included.
+
+``IdealBackend`` is the noise-free simulator (with optional shot sampling)
+and implements the vectorized batch path; the noisy device emulator lives
+in :mod:`repro.hardware.noisy_backend`.
 """
 
 from __future__ import annotations
@@ -22,7 +36,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.circuits.batch import CircuitBatch, group_by_structure
 from repro.sim import measurement as _measurement
+from repro.sim.batched import BatchedStatevector
 from repro.sim.statevector import Statevector
 
 
@@ -42,10 +58,18 @@ class CircuitRunMeter:
     shots: int = 0
     by_purpose: dict[str, int] = dataclasses.field(default_factory=dict)
 
-    def record(self, n_circuits: int, shots: int, purpose: str) -> None:
-        """Account for one batch submission."""
+    def record(self, n_circuits: int, total_shots: int, purpose: str) -> None:
+        """Account for one batch submission.
+
+        Args:
+            n_circuits: Circuits executed in the submission.
+            total_shots: Shots *actually consumed* across the whole
+                submission — 0 for exact-expectation execution, matching
+                each result's ``ExecutionResult.shots``.
+            purpose: The caller's usage tag.
+        """
         self.circuits += n_circuits
-        self.shots += n_circuits * shots
+        self.shots += total_shots
         self.by_purpose[purpose] = (
             self.by_purpose.get(purpose, 0) + n_circuits
         )
@@ -95,13 +119,41 @@ class Backend(abc.ABC):
     def _execute(self, circuit, shots: int) -> ExecutionResult:
         """Run a single circuit (implemented by subclasses)."""
 
+    def _execute_batch(self, circuits: Sequence, shots: int) -> list[ExecutionResult]:
+        """Run several *same-structure* circuits; override to vectorize.
+
+        :meth:`run` only calls this with circuits sharing one
+        :meth:`~repro.circuits.QuantumCircuit.structure_signature`, in
+        submission order within the group.  The default falls back to
+        per-circuit :meth:`_execute`, so subclasses keep working
+        unchanged until they opt in.
+        """
+        return [self._execute(circuit, shots) for circuit in circuits]
+
+    def supports_batching(self) -> bool:
+        """Whether :meth:`run` should use the structure-grouped fast path.
+
+        True exactly when the subclass overrides :meth:`_execute_batch`.
+        Backends with sequential semantics (per-circuit RNG consumption
+        in submission order) stay on the plain loop, so enabling the
+        fast path for one backend never perturbs another's seeded
+        streams.
+        """
+        return type(self)._execute_batch is not Backend._execute_batch
+
     def run(
         self,
         circuits: Sequence,
         shots: int = 1024,
         purpose: str = "run",
     ) -> list[ExecutionResult]:
-        """Validate, meter, and execute a batch of circuits.
+        """Validate, execute, and meter a batch of circuits.
+
+        When the backend implements :meth:`_execute_batch`, the
+        submission is partitioned into same-structure groups (in
+        first-appearance order) and each group is dispatched as one
+        batch; results are reassembled in submission order.  The meter
+        records the shots each execution actually consumed.
 
         Args:
             circuits: ``QuantumCircuit`` objects.
@@ -110,10 +162,27 @@ class Backend(abc.ABC):
         """
         if shots < 1:
             raise ValueError("shots must be positive")
+        circuits = list(circuits)
         for circuit in circuits:
             circuit.validate()
-        self.meter.record(len(circuits), shots, purpose)
-        return [self._execute(circuit, shots) for circuit in circuits]
+        if self.supports_batching() and len(circuits) > 1:
+            results: list[ExecutionResult | None] = [None] * len(circuits)
+            for positions, members in group_by_structure(circuits):
+                group_results = self._execute_batch(members, shots)
+                if len(group_results) != len(members):
+                    raise RuntimeError(
+                        f"{type(self).__name__}._execute_batch returned "
+                        f"{len(group_results)} results for "
+                        f"{len(members)} circuits"
+                    )
+                for position, result in zip(positions, group_results):
+                    results[position] = result
+        else:
+            results = [self._execute(circuit, shots) for circuit in circuits]
+        self.meter.record(
+            len(circuits), sum(r.shots for r in results), purpose
+        )
+        return results
 
     def expectations(
         self,
@@ -137,18 +206,39 @@ class Backend(abc.ABC):
 class IdealBackend(Backend):
     """Noise-free statevector execution.
 
+    Same-structure submissions take the vectorized batch path: one
+    stacked :class:`~repro.sim.batched.BatchedStatevector` evolution per
+    group, with exact readout (and shot sampling) computed batch-wide.
+    Exact-mode results are bit-identical to the sequential path for any
+    submission.  Sampled mode is deterministic per seed and consumes
+    the RNG stream per circuit in submission order *within each
+    structure group* — bit-identical to sequential execution for
+    single-structure submissions; mixed-structure sampled submissions
+    draw the same per-circuit distributions in group order instead.
+
     Args:
         exact: When True, ``run`` returns exact expectations and empty
             counts regardless of ``shots`` — this is the "Classical-Train
             Simu." setting of Table 1.  When False, finite-shot sampling
             still applies (shot noise without device noise).
         seed: Sampler seed.
+        batched: Disable to force the sequential per-circuit loop
+            (benchmark baseline and equivalence testing).
     """
 
-    def __init__(self, exact: bool = True, seed: int | None = None):
+    def __init__(
+        self,
+        exact: bool = True,
+        seed: int | None = None,
+        batched: bool = True,
+    ):
         super().__init__(seed=seed)
         self.exact = bool(exact)
+        self.batched = bool(batched)
         self.name = "ideal" if exact else "ideal_sampled"
+
+    def supports_batching(self) -> bool:
+        return self.batched
 
     def _execute(self, circuit, shots: int) -> ExecutionResult:
         state = Statevector(circuit.n_qubits).evolve(circuit)
@@ -164,3 +254,26 @@ class IdealBackend(Backend):
         return ExecutionResult(
             counts=counts, expectations=expectations, shots=shots
         )
+
+    def _execute_batch(self, circuits, shots: int) -> list[ExecutionResult]:
+        batch = CircuitBatch(circuits)
+        state = BatchedStatevector(batch.n_qubits, batch.size).evolve(batch)
+        if self.exact:
+            expectations = state.expectation_z()
+            return [
+                ExecutionResult(
+                    counts={}, expectations=expectations[row].copy(), shots=0
+                )
+                for row in range(batch.size)
+            ]
+        counts_list = state.sample_counts(shots, rng=self._rng)
+        return [
+            ExecutionResult(
+                counts=counts,
+                expectations=_measurement.expectation_z_from_counts(
+                    counts, batch.n_qubits
+                ),
+                shots=shots,
+            )
+            for counts in counts_list
+        ]

@@ -81,8 +81,7 @@ class NoiseInjectionBackend(Backend):
         sigma = 1.0 / np.sqrt(shots)
         return cls(inner, shrink=shrink, sigma=sigma, seed=seed)
 
-    def _execute(self, circuit, shots: int) -> ExecutionResult:
-        result = self.inner._execute(circuit, shots)
+    def _perturb(self, result: ExecutionResult) -> ExecutionResult:
         noisy = result.expectations * (1.0 - self.shrink)
         if self.sigma > 0:
             noisy = noisy + self._rng.normal(
@@ -92,3 +91,17 @@ class NoiseInjectionBackend(Backend):
         return ExecutionResult(
             counts=result.counts, expectations=noisy, shots=result.shots
         )
+
+    def _execute(self, circuit, shots: int) -> ExecutionResult:
+        return self._perturb(self.inner._execute(circuit, shots))
+
+    def _execute_batch(self, circuits, shots: int) -> list[ExecutionResult]:
+        """Batch through the inner backend, then jitter in batch order."""
+        return [
+            self._perturb(result)
+            for result in self.inner._execute_batch(circuits, shots)
+        ]
+
+    def supports_batching(self) -> bool:
+        """Batch only when the wrapped backend actually vectorizes."""
+        return self.inner.supports_batching()

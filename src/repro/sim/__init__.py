@@ -4,17 +4,28 @@ from repro.sim.adjoint import adjoint_expectation_and_jacobian, adjoint_jacobian
 from repro.sim.apply import (
     apply_kraus_to_density,
     apply_matrix,
+    apply_matrix_batched,
     apply_matrix_to_density,
     expand_matrix,
 )
+from repro.sim.batched import BatchedStatevector, run_circuit_batch
 from repro.sim.density import DensityMatrix
-from repro.sim.gates import GATES, SHIFT_RULE_GATES, GateSpec, get_gate
+from repro.sim.gates import (
+    GATES,
+    SHIFT_RULE_GATES,
+    GateSpec,
+    fixed_gate_matrix,
+    get_gate,
+    stacked_matrices,
+)
 from repro.sim.measurement import (
     apply_readout_error,
     counts_to_probabilities,
     expectation_z_from_counts,
+    expectation_z_from_prob_matrix,
     expectation_z_from_probabilities,
     readout_confusion_matrix,
+    sample_counts_batch,
     sample_from_probabilities,
 )
 from repro.sim.statevector import Statevector, run_statevector
@@ -22,6 +33,7 @@ from repro.sim.statevector import Statevector, run_statevector
 __all__ = [
     "GATES",
     "SHIFT_RULE_GATES",
+    "BatchedStatevector",
     "DensityMatrix",
     "GateSpec",
     "Statevector",
@@ -29,14 +41,20 @@ __all__ = [
     "adjoint_jacobian",
     "apply_kraus_to_density",
     "apply_matrix",
+    "apply_matrix_batched",
     "apply_matrix_to_density",
     "apply_readout_error",
     "counts_to_probabilities",
     "expand_matrix",
     "expectation_z_from_counts",
+    "expectation_z_from_prob_matrix",
     "expectation_z_from_probabilities",
+    "fixed_gate_matrix",
     "get_gate",
     "readout_confusion_matrix",
+    "run_circuit_batch",
     "run_statevector",
+    "sample_counts_batch",
     "sample_from_probabilities",
+    "stacked_matrices",
 ]

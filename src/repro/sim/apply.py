@@ -55,6 +55,46 @@ def apply_matrix(
     return np.moveaxis(moved, range(k), wires)
 
 
+def apply_matrix_batched(
+    states: np.ndarray, matrices: np.ndarray, wires: Sequence[int]
+) -> np.ndarray:
+    """Apply per-circuit (or one shared) gate matrix to stacked states.
+
+    Args:
+        states: Complex tensor of shape ``(B,) + (2,) * n`` — ``B``
+            statevectors stacked along axis 0.
+        matrices: Either ``(B, 2^k, 2^k)`` (one matrix per circuit) or
+            ``(2^k, 2^k)`` (one matrix shared by the whole batch).
+        wires: The ``k`` target qubits, in gate wire order.
+
+    Returns:
+        New stacked statevector tensor.
+
+    Each batch slice reduces to the same GEMM :func:`apply_matrix`
+    performs via ``tensordot`` — same operand layouts, same contraction
+    order — so the result is bit-identical to applying the matrices one
+    circuit at a time.
+    """
+    n_qubits = states.ndim - 1
+    wires = _check_wires(wires, n_qubits)
+    k = len(wires)
+    if matrices.shape[-2:] != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrices.shape} does not match {k} wires"
+        )
+    if matrices.ndim == 3 and matrices.shape[0] != states.shape[0]:
+        raise ValueError(
+            f"{matrices.shape[0]} matrices for batch of {states.shape[0]}"
+        )
+    # Bring the target axes (offset by the batch axis) to the front,
+    # flatten to (B, 2^k, rest), batched-matmul, and restore the layout.
+    targets = [w + 1 for w in wires]
+    moved = np.moveaxis(states, targets, range(1, k + 1))
+    shape = moved.shape
+    out = np.matmul(matrices, moved.reshape(states.shape[0], 2**k, -1))
+    return np.moveaxis(out.reshape(shape), range(1, k + 1), targets)
+
+
 def apply_matrix_to_density(
     rho: np.ndarray, matrix: np.ndarray, wires: Sequence[int]
 ) -> np.ndarray:

@@ -65,6 +65,60 @@ def expectation_z_from_probabilities(probs: np.ndarray) -> np.ndarray:
     return out
 
 
+def expectation_z_from_prob_matrix(probs: np.ndarray) -> np.ndarray:
+    """Per-qubit ``<Z>`` for a stack of probability vectors.
+
+    Args:
+        probs: ``(B, 2^n)`` matrix, one outcome distribution per row.
+
+    Returns:
+        ``(B, n)`` expectations, ``out[b, k] = P_b(bit k=0) - P_b(bit k=1)``.
+
+    The marginal of qubit ``k`` is taken with a reshape-based reduction
+    — view the row as ``(2^k, 2, 2^(n-k-1))`` and sum the outer axes —
+    which reduces each batch row exactly like the single-state path, so
+    stacking circuits never changes a single bit of the readout.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError("expected a (B, 2^n) probability matrix")
+    batch, dim = probs.shape
+    n_qubits = int(np.log2(dim))
+    if 2**n_qubits != dim:
+        raise ValueError("probability row length is not a power of two")
+    out = np.empty((batch, n_qubits), dtype=np.float64)
+    for k in range(n_qubits):
+        marginal = probs.reshape(batch, 2**k, 2, -1).sum(axis=(1, 3))
+        out[:, k] = marginal[:, 0] - marginal[:, 1]
+    return out
+
+
+def sample_counts_batch(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> list[dict[str, int]]:
+    """Draw ``shots`` multinomial samples per row of a probability matrix.
+
+    One vectorized ``Generator.multinomial`` call covers the whole
+    batch; NumPy consumes the bit stream row by row exactly as ``B``
+    successive single-distribution calls would, so per-circuit sampled
+    results are reproducible regardless of whether circuits were
+    submitted alone or inside a batch.
+    """
+    if shots < 1:
+        raise ValueError("shots must be positive")
+    probs = np.asarray(probs, dtype=np.float64)
+    probs = probs / probs.sum(axis=1, keepdims=True)
+    n_qubits = int(np.log2(probs.shape[1]))
+    outcomes = rng.multinomial(shots, probs)
+    results = []
+    for row in outcomes:
+        counts: dict[str, int] = {}
+        for index in np.nonzero(row)[0]:
+            counts[format(index, f"0{n_qubits}b")] = int(row[index])
+        results.append(counts)
+    return results
+
+
 def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:
     """Single-qubit assignment-error matrix.
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.sim import apply as _apply
 from repro.sim import gates as _gates
+from repro.sim import measurement as _measurement
 
 
 class Statevector:
@@ -132,13 +133,8 @@ class Statevector:
         """
         if qubit is not None:
             return 1.0 - 2.0 * self.marginal_probability(qubit)
-        probs = np.abs(self._tensor) ** 2
-        out = np.empty(self.n_qubits, dtype=np.float64)
-        for k in range(self.n_qubits):
-            axes = tuple(a for a in range(self.n_qubits) if a != k)
-            marginal = probs.sum(axis=axes)
-            out[k] = marginal[0] - marginal[1]
-        return out
+        probs = np.abs(self._tensor.reshape(1, -1)) ** 2
+        return _measurement.expectation_z_from_prob_matrix(probs)[0]
 
     def expectation_pauli(self, word: str) -> float:
         """Exact expectation of an n-qubit Pauli word (e.g. ``"ZIZI"``)."""

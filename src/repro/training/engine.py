@@ -16,6 +16,13 @@ Each step performs the three parts of Sec. 3.2: (1) Jacobian via parameter
 shift on the quantum device, (2) downstream gradient via classical
 softmax/cross-entropy backprop, (3) chain-rule dot product and optimizer
 update.
+
+Both the forward pass and the gradient pass submit their whole
+mini-batch (and all of its parameter-shifted clones) in single
+``backend.run`` calls; every circuit of a task shares one structure
+signature, so on batch-capable backends each training step executes as
+a few stacked-tensor evolutions rather than ``O(batch x params)``
+individual simulations.
 """
 
 from __future__ import annotations

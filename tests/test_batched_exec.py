@@ -1,0 +1,284 @@
+"""Batched-vs-sequential execution equivalence.
+
+The batched engine's contract is strict: exact-mode results are
+*bit-identical* to the per-circuit path for arbitrary same- and
+mixed-structure submissions, sampled-mode results consume the seeded
+RNG stream per circuit exactly like sequential execution within each
+structure group, and metering / purpose accounting is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitBatch,
+    QuantumCircuit,
+    get_architecture,
+    group_by_structure,
+)
+from repro.gradients.finite_difference import finite_difference_jacobian
+from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
+from repro.hardware import IdealBackend, NoiseInjectionBackend, NoisyBackend
+from repro.sim import BatchedStatevector, Statevector, run_circuit_batch
+
+#: Gate vocabulary for random structure generation.
+_ONE_QUBIT = ["h", "x", "s", "sx", "ry", "rx", "rz", "phase"]
+_TWO_QUBIT = ["cx", "cz", "rzz", "rxx", "rzx", "crz", "swap"]
+
+
+def random_structure(
+    rng: np.random.Generator, n_qubits: int, n_ops: int = 12
+) -> QuantumCircuit:
+    """A random circuit mixing fixed, literal-angle, and trainable ops."""
+    circuit = QuantumCircuit(n_qubits)
+    n_trainable = 0
+    for _ in range(n_ops):
+        if rng.random() < 0.6 or n_qubits < 2:
+            name = _ONE_QUBIT[rng.integers(len(_ONE_QUBIT))]
+            wires = int(rng.integers(n_qubits))
+        else:
+            name = _TWO_QUBIT[rng.integers(len(_TWO_QUBIT))]
+            a, b = rng.choice(n_qubits, size=2, replace=False)
+            wires = (int(a), int(b))
+        if name in ("ry", "rx", "rz", "rzz", "rxx", "rzx") and rng.random() < 0.5:
+            circuit.add_trainable(name, wires, n_trainable)
+            n_trainable += 1
+        elif name in ("ry", "rx", "rz", "rzz", "rxx", "rzx", "phase", "crz"):
+            circuit.add(name, wires, float(rng.uniform(-np.pi, np.pi)))
+        else:
+            circuit.add(name, wires)
+    return circuit
+
+
+def rebind(circuit: QuantumCircuit, rng: np.random.Generator) -> QuantumCircuit:
+    """Same-structure clone with fresh random trainable angles."""
+    return circuit.bound(rng.uniform(-np.pi, np.pi, circuit.num_parameters))
+
+
+class TestStructureKey:
+    def test_shifted_clones_share_structure(self):
+        circuit = random_structure(np.random.default_rng(0), 3)
+        positions = circuit.trainable_positions()
+        if not positions:
+            pytest.skip("no trainable ops drawn")
+        shifted = circuit.shifted(positions[0], np.pi / 2)
+        assert shifted.structure_signature() == circuit.structure_signature()
+        assert shifted.structure_key() == circuit.structure_key()
+
+    def test_rebinding_preserves_structure(self):
+        rng = np.random.default_rng(1)
+        circuit = random_structure(rng, 3)
+        assert (
+            rebind(circuit, rng).structure_key() == circuit.structure_key()
+        )
+
+    def test_different_wires_different_structure(self):
+        a = QuantumCircuit(2).add("h", 0)
+        b = QuantumCircuit(2).add("h", 1)
+        assert a.structure_signature() != b.structure_signature()
+
+    def test_building_invalidates_cache(self):
+        circuit = QuantumCircuit(2).add("h", 0)
+        before = circuit.structure_signature()
+        circuit.add("cx", (0, 1))
+        assert circuit.structure_signature() != before
+
+    def test_literal_angles_do_not_split_groups(self):
+        a = QuantumCircuit(1).add("ry", 0, 0.3)
+        b = QuantumCircuit(1).add("ry", 0, 1.7)
+        assert a.structure_signature() == b.structure_signature()
+
+    def test_group_by_structure_positions(self):
+        rng = np.random.default_rng(2)
+        base_a = random_structure(rng, 3)
+        base_b = random_structure(rng, 3)
+        mixed = [base_a, base_b, rebind(base_a, rng), rebind(base_b, rng)]
+        groups = group_by_structure(mixed)
+        assert sorted(p for ps, _ in groups for p in ps) == [0, 1, 2, 3]
+        assert [ps for ps, _ in groups] == [[0, 2], [1, 3]]
+
+
+class TestCircuitBatch:
+    def test_rejects_mixed_structures(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="structure"):
+            CircuitBatch([random_structure(rng, 3), random_structure(rng, 3)])
+
+    def test_angles_shape(self):
+        rng = np.random.default_rng(4)
+        base = random_structure(rng, 3)
+        batch = CircuitBatch([base, rebind(base, rng), rebind(base, rng)])
+        assert batch.angles.shape == (3, base.num_operations())
+
+    def test_uniform_detection(self):
+        base = QuantumCircuit(2)
+        base.add("ry", 0, 0.5).add_trainable("rz", 1, 0)
+        other = base.bound([1.0])
+        batch = CircuitBatch([base, other])
+        assert batch.op_is_uniform(0)       # same literal angle
+        assert not batch.op_is_uniform(1)   # different bound theta
+
+
+class TestBatchedStatevector:
+    @pytest.mark.parametrize("n_qubits", [1, 2, 4])
+    def test_evolution_bit_identical(self, n_qubits):
+        rng = np.random.default_rng(10 + n_qubits)
+        base = random_structure(rng, n_qubits)
+        circuits = [rebind(base, rng) for _ in range(7)]
+        stacked = run_circuit_batch(CircuitBatch(circuits)).vectors
+        for row, circuit in zip(stacked, circuits):
+            single = Statevector(n_qubits).evolve(circuit)
+            assert np.array_equal(row, single.vector)
+
+    def test_readout_bit_identical(self):
+        rng = np.random.default_rng(20)
+        base = random_structure(rng, 4)
+        circuits = [rebind(base, rng) for _ in range(5)]
+        state = run_circuit_batch(CircuitBatch(circuits))
+        probs = state.probabilities()
+        exps = state.expectation_z()
+        for row in range(len(circuits)):
+            single = Statevector(4).evolve(circuits[row])
+            assert np.array_equal(probs[row], single.probabilities())
+            assert np.array_equal(exps[row], single.expectation_z())
+
+    def test_sampling_matches_sequential_stream(self):
+        rng = np.random.default_rng(30)
+        base = random_structure(rng, 3)
+        circuits = [rebind(base, rng) for _ in range(4)]
+        batch_counts = run_circuit_batch(CircuitBatch(circuits)).sample_counts(
+            256, rng=np.random.default_rng(99)
+        )
+        sequential_rng = np.random.default_rng(99)
+        for counts, circuit in zip(batch_counts, circuits):
+            single = Statevector(3).evolve(circuit)
+            assert counts == single.sample_counts(256, rng=sequential_rng)
+
+    def test_shape_validation(self):
+        batch = CircuitBatch([QuantumCircuit(2).add("h", 0)])
+        with pytest.raises(ValueError, match="qubits"):
+            BatchedStatevector(3, 1).evolve(batch)
+        with pytest.raises(ValueError, match="circuits"):
+            BatchedStatevector(2, 4).evolve(batch)
+
+
+class TestBackendEquivalence:
+    def make_mixed(self, rng, n_structures=3, per_structure=4):
+        circuits = []
+        for _ in range(n_structures):
+            base = random_structure(rng, 3)
+            circuits.extend(rebind(base, rng) for _ in range(per_structure))
+        order = rng.permutation(len(circuits))
+        return [circuits[i] for i in order]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_mixed_structure_bit_identical(self, seed):
+        circuits = self.make_mixed(np.random.default_rng(40 + seed))
+        sequential = IdealBackend(exact=True, batched=False).expectations(
+            circuits, purpose="test"
+        )
+        batched = IdealBackend(exact=True).expectations(
+            circuits, purpose="test"
+        )
+        assert np.array_equal(sequential, batched)
+
+    def test_sampled_same_structure_stream_identical(self):
+        rng = np.random.default_rng(50)
+        base = random_structure(rng, 3)
+        circuits = [rebind(base, rng) for _ in range(6)]
+        sequential = IdealBackend(exact=False, seed=7, batched=False).run(
+            circuits, shots=512
+        )
+        batched = IdealBackend(exact=False, seed=7).run(circuits, shots=512)
+        for a, b in zip(sequential, batched):
+            assert a.counts == b.counts
+            assert np.array_equal(a.expectations, b.expectations)
+
+    def test_sampled_mixed_structure_statistically_matched(self):
+        rng = np.random.default_rng(60)
+        circuits = self.make_mixed(rng, n_structures=2, per_structure=3)
+        exact = IdealBackend(exact=True).expectations(circuits)
+        sampled = IdealBackend(exact=False, seed=0).expectations(
+            circuits, shots=4096
+        )
+        assert np.max(np.abs(sampled - exact)) < 0.1
+
+    def test_single_circuit_uses_sequential_path(self):
+        circuit = QuantumCircuit(2).add("h", 0).add("cx", (0, 1))
+        result = IdealBackend(exact=True).run([circuit])[0]
+        assert np.allclose(result.expectations, [0.0, 0.0], atol=1e-12)
+
+    def test_gradients_bit_identical(self):
+        rng = np.random.default_rng(70)
+        arch = get_architecture("mnist2")
+        theta = rng.uniform(-1, 1, arch.num_parameters)
+        circuits = [
+            arch.full_circuit(rng.uniform(0, np.pi, arch.n_features), theta)
+            for _ in range(3)
+        ]
+        sequential = parameter_shift_jacobian_batch(
+            circuits, IdealBackend(exact=True, batched=False)
+        )
+        batched = parameter_shift_jacobian_batch(
+            circuits, IdealBackend(exact=True)
+        )
+        for a, b in zip(sequential, batched):
+            assert np.array_equal(a, b)
+
+    def test_finite_difference_bit_identical(self):
+        rng = np.random.default_rng(80)
+        arch = get_architecture("mnist2")
+        theta = rng.uniform(-1, 1, arch.num_parameters)
+        circuit = arch.full_circuit(
+            rng.uniform(0, np.pi, arch.n_features), theta
+        )
+        sequential = finite_difference_jacobian(
+            circuit, IdealBackend(exact=True, batched=False)
+        )
+        batched = finite_difference_jacobian(
+            circuit, IdealBackend(exact=True)
+        )
+        assert np.array_equal(sequential, batched)
+
+
+class TestMeterAccounting:
+    def test_exact_mode_consumes_zero_shots(self):
+        backend = IdealBackend(exact=True)
+        results = backend.run(
+            [QuantumCircuit(1).add("h", 0)] * 4, shots=1024
+        )
+        assert all(r.shots == 0 for r in results)
+        assert backend.meter.circuits == 4
+        assert backend.meter.shots == 0
+
+    def test_sampled_mode_meters_consumed_shots(self):
+        backend = IdealBackend(exact=False, seed=0)
+        backend.run([QuantumCircuit(1).add("h", 0)] * 4, shots=100)
+        assert backend.meter.shots == 400
+
+    def test_purpose_tags_identical_across_paths(self):
+        rng = np.random.default_rng(90)
+        circuits = [
+            rebind(random_structure(rng, 2, n_ops=6), rng) for _ in range(3)
+        ]
+        meters = []
+        for batched in (False, True):
+            backend = IdealBackend(exact=True, batched=batched)
+            backend.run(circuits[:2], purpose="forward")
+            backend.run(circuits, purpose="gradient")
+            meters.append(backend.meter.snapshot())
+        assert meters[0] == meters[1]
+
+    def test_noisy_backend_stays_sequential(self):
+        backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        assert not backend.supports_batching()
+
+    def test_noise_injection_follows_inner(self):
+        ideal = NoiseInjectionBackend(IdealBackend(exact=True), seed=0)
+        assert ideal.supports_batching()
+        sequential = NoiseInjectionBackend(
+            IdealBackend(exact=True, batched=False), seed=0
+        )
+        assert not sequential.supports_batching()

@@ -19,8 +19,11 @@ from repro.training.budget import (
 
 
 def run_and_meter(config: TrainingConfig):
+    # Sampled mode: the budget predicts *consumed* shots, and the meter
+    # only records shots that executions actually used (an exact-mode
+    # backend meters 0 shots).
     train, val = load_task(config.task, seed=0, train_size=20, val_size=20)
-    backend = IdealBackend(exact=True)
+    backend = IdealBackend(exact=False, seed=0)
     engine = TrainingEngine(
         config, backend, train_data=train, val_data=val
     )
