@@ -11,9 +11,28 @@ Scale knobs live here so all benchmarks stay consistent.
 
 from __future__ import annotations
 
+import os
+
 from repro.hardware import IdealBackend, NoisyBackend
 from repro.pruning import PruningHyperparams
 from repro.training import TrainingConfig, TrainingEngine
+
+
+def smoke_mode() -> bool:
+    """True when CI asks for the reduced-size benchmark pass.
+
+    ``REPRO_BENCH_SMOKE=1`` shrinks the *throughput* benchmarks (fewer
+    rounds / submissions, same speedup assertions) so their performance
+    targets are exercised on every push without the multi-minute
+    table/figure regenerations.  The accuracy benchmarks ignore the
+    flag — their method-ordering assertions need the full CI scale.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def smoke_scaled(full: int, smoke: int) -> int:
+    """Pick a size knob depending on :func:`smoke_mode`."""
+    return smoke if smoke_mode() else full
 
 # --- benchmark scale (paper-scale values in comments) -----------------------
 

@@ -16,16 +16,16 @@ import time
 
 import numpy as np
 
-from harness import format_table
+from harness import format_table, smoke_scaled
 from repro.circuits import QuantumCircuit
 from repro.circuits.layers import build_layered_ansatz
 from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
 from repro.hardware import IdealBackend
 
 N_QUBITS = 8
-BATCH_SIZE = 12
+BATCH_SIZE = smoke_scaled(12, 6)
 LAYERS = ["rzz", "rxx", "rzz", "rxx", "ry"]  # 8+8+8+8+8 = 40 params
-ROUNDS = 3
+ROUNDS = smoke_scaled(3, 1)
 TARGET_SPEEDUP = 5.0
 
 

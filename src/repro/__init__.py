@@ -23,6 +23,7 @@ Subpackages
 ``repro.pruning``    probabilistic gradient pruning (Alg. 1)
 ``repro.ml``         softmax/CE head, optimizers, schedulers, PCA, metrics
 ``repro.training``   the TrainingEngine and evaluation helpers
+``repro.serving``    async ExecutionService: coalescing, caching, routing
 ``repro.data``       synthetic datasets + preprocessing pipelines
 ``repro.scaling``    Fig. 2a / Fig. 8 cost and runtime models
 ``repro.analysis``   Fig. 2b / Fig. 2c noise analyses + gradient variance
@@ -39,6 +40,7 @@ from repro.hardware import IdealBackend, NoisyBackend, QuantumProvider
 from repro.interop import from_qasm, load_run, save_run, to_qasm
 from repro.noise import NoiseModel, get_calibration
 from repro.pruning import GradientPruner, PruningHyperparams
+from repro.serving import ExecutionService, ServiceExecutor
 from repro.sim import DensityMatrix, Statevector
 from repro.training import TrainingConfig, TrainingEngine, evaluate_accuracy
 from repro.version import __version__
@@ -46,6 +48,7 @@ from repro.version import __version__
 __all__ = [
     "Dataset",
     "DensityMatrix",
+    "ExecutionService",
     "GradientPruner",
     "IdealBackend",
     "NoiseModel",
@@ -54,6 +57,7 @@ __all__ = [
     "QnnArchitecture",
     "QuantumCircuit",
     "QuantumProvider",
+    "ServiceExecutor",
     "Statevector",
     "TrainingConfig",
     "TrainingEngine",

@@ -13,6 +13,7 @@ from repro.circuits.ansatz import (
 from repro.circuits.batch import CircuitBatch, group_by_structure
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.drawer import draw
+from repro.circuits.fingerprint import circuit_fingerprint
 from repro.circuits.encoders import (
     ENCODERS,
     encode_image16,
@@ -49,6 +50,7 @@ __all__ = [
     "TranspileResult",
     "build_layered_ansatz",
     "chain_pairs",
+    "circuit_fingerprint",
     "draw",
     "encode_amplitude",
     "encode_amplitude16",

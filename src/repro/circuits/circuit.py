@@ -15,6 +15,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
+from repro.circuits import fingerprint as _fingerprint
 from repro.circuits.operation import BoundOp, OpTemplate
 from repro.sim import gates as _gates
 
@@ -200,6 +201,20 @@ class QuantumCircuit:
                 ),
             )
         return self._structure
+
+    def fingerprint(self) -> str:
+        """Canonical execution identity, *including* angle values.
+
+        The complement of :meth:`structure_signature`: a stable hex
+        digest over the resolved operation sequence (names, wires, and
+        numeric angles), so equal fingerprints mean a deterministic
+        backend would produce bit-identical exact results.  Keys the
+        serving layer's result cache.  Not cached on the instance —
+        ``bind`` mutates angles in place, so the digest is recomputed
+        per call (see :func:`repro.circuits.fingerprint.
+        circuit_fingerprint`).
+        """
+        return _fingerprint.circuit_fingerprint(self)
 
     def structure_key(self) -> int:
         """Hash of :meth:`structure_signature`.

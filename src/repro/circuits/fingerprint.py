@@ -1,0 +1,56 @@
+"""Canonical circuit fingerprints: value-inclusive execution identity.
+
+:meth:`QuantumCircuit.structure_signature` deliberately ignores angle
+values so parameter-shifted clones can share one batched evolution.  A
+*fingerprint* is the opposite: it identifies what a backend would
+actually execute — the structure **and** every resolved angle — so two
+circuits with equal fingerprints produce bit-identical exact-mode
+results on a deterministic backend.  That makes the fingerprint the
+natural key of the serving layer's exact-result cache
+(:class:`repro.serving.ResultCache`).
+
+The digest is computed over a canonical byte encoding (gate names with
+length prefixes, wire indices as little-endian int64, resolved angles
+as float64 bit patterns), so it is stable across processes and Python
+hash randomization — unlike ``hash(...)`` — and safe to persist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+#: Bytes separating fields so variable-length names cannot alias wires.
+_SEP = b"\x00"
+
+
+def circuit_fingerprint(circuit) -> str:
+    """Hex digest identifying a circuit *including* its angle values.
+
+    Two circuits receive the same fingerprint exactly when they agree on
+    qubit count and on the full resolved operation sequence — gate
+    names, wire placements, and numeric parameters (trainable angles
+    resolved against the bound ``theta``, shift offsets applied).
+    Rebinding parameters therefore changes the fingerprint, while
+    :meth:`~repro.circuits.QuantumCircuit.copy` preserves it.
+
+    Args:
+        circuit: A :class:`~repro.circuits.QuantumCircuit`.
+
+    Returns:
+        A 32-character hex string (128-bit BLAKE2b digest).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(struct.pack("<q", circuit.n_qubits))
+    for op in circuit.operations:
+        name = op.name.encode("utf-8")
+        digest.update(struct.pack("<q", len(name)))
+        digest.update(name)
+        digest.update(_SEP)
+        digest.update(np.asarray(op.wires, dtype=np.int64).tobytes())
+        digest.update(_SEP)
+        digest.update(np.asarray(op.params, dtype=np.float64).tobytes())
+        digest.update(_SEP)
+    return digest.hexdigest()

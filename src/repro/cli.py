@@ -6,6 +6,7 @@ Commands
 ``characterize``  readout calibration + randomized benchmarking of a device
 ``scaling``       the Fig. 8 runtime/memory comparison
 ``draw``          print a task's circuit as ASCII art
+``serve-bench``   multi-client throughput of the async ExecutionService
 
 Examples
 --------
@@ -16,6 +17,7 @@ Examples
     python -m repro characterize --device ibmq_lima
     python -m repro scaling --max-qubits 40
     python -m repro draw --task vowel4
+    python -m repro serve-bench --clients 8 --backends 2
 """
 
 from __future__ import annotations
@@ -83,6 +85,25 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=["mnist2", "mnist4", "fashion2",
                                "fashion4", "vowel4"])
     draw.add_argument("--width", type=int, default=100)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="multi-client throughput demo of the async ExecutionService",
+    )
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads")
+    serve.add_argument("--submissions", type=int, default=24,
+                       help="submissions per client")
+    serve.add_argument("--qubits", type=int, default=6)
+    serve.add_argument("--backends", type=int, default=2,
+                       help="ideal backends in the routed pool")
+    serve.add_argument("--policy", default="round_robin",
+                       choices=["round_robin", "least_outstanding"])
+    serve.add_argument("--max-batch", type=int, default=128,
+                       help="coalescer size-flush threshold")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="coalescer deadline-flush bound")
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -191,11 +212,108 @@ def _cmd_draw(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.circuits import QuantumCircuit
+    from repro.hardware import IdealBackend
+    from repro.serving import (
+        ExecutionService,
+        concurrent_client_wall_time,
+    )
+
+    rng = np.random.default_rng(args.seed)
+
+    def make_circuit(angles) -> QuantumCircuit:
+        circuit = QuantumCircuit(args.qubits)
+        for wire in range(args.qubits):
+            circuit.add("ry", wire, float(angles[wire]))
+        for wire in range(args.qubits - 1):
+            circuit.add("cx", (wire, wire + 1))
+        return circuit
+
+    # Every client submits same-structure circuits with its own angles;
+    # a second wave replays the first few, which by then sit in the
+    # exact-result cache.
+    workloads = [
+        [
+            make_circuit(rng.uniform(0, np.pi, args.qubits))
+            for _ in range(args.submissions)
+        ]
+        for _ in range(args.clients)
+    ]
+    replay = max(1, args.submissions // 4)
+    waves = [
+        (circuits, circuits[:replay]) for circuits in workloads
+    ]
+
+    def timed_clients(client) -> float:
+        return concurrent_client_wall_time(len(waves), client)
+
+    n_total = sum(len(a) + len(b) for a, b in waves)
+
+    # Baseline: each client drives its own synchronous backend.
+    direct_backends = [IdealBackend(exact=True) for _ in waves]
+
+    def direct_client(index):
+        backend = direct_backends[index]
+        for wave in waves[index]:
+            for circuit in wave:
+                backend.run([circuit], purpose="serve")
+
+    direct_s = timed_clients(direct_client)
+
+    pool = [IdealBackend(exact=True) for _ in range(args.backends)]
+    with ExecutionService(
+        pool,
+        policy=args.policy,
+        max_batch_size=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1000.0,
+    ) as service:
+        # Service path: clients pipeline async submissions (futures)
+        # per wave, then gather — in-flight work from all clients
+        # coalesces into shared batches instead of one blocked circuit
+        # per client; the replay wave is served from the warm cache.
+        def service_client(index):
+            for wave in waves[index]:
+                jobs = [
+                    service.submit([circuit], purpose="serve")
+                    for circuit in wave
+                ]
+                for job in jobs:
+                    job.result()
+
+        service_s = timed_clients(service_client)
+        stats = service.stats()
+
+    print(f"serve-bench: {args.clients} clients x {args.submissions} "
+          f"submissions (+{replay} replayed), {args.qubits} qubits, "
+          f"{args.backends} backend(s), policy={args.policy}")
+    print(f"  direct  : {direct_s:.3f}s "
+          f"({n_total / direct_s:,.0f} circuits/s)")
+    print(f"  service : {service_s:.3f}s "
+          f"({n_total / service_s:,.0f} circuits/s)")
+    print(f"  speedup : {direct_s / service_s:.1f}x")
+    scheduler = stats["scheduler"]
+    cache = stats["cache"]
+    print(f"  flushes : {scheduler['flushes']} "
+          f"(largest batch {scheduler['largest_batch']}, "
+          f"{scheduler['size_flushes']} size / "
+          f"{scheduler['deadline_flushes']} deadline)")
+    if cache:
+        print(f"  cache   : {cache['hits']} hits / {cache['misses']} "
+              f"misses (hit rate {cache['hit_rate']:.1%})")
+    for entry in stats["router"]["backends"]:
+        print(f"  backend {entry['name']}: "
+              f"{entry['dispatched_batches']} batches, "
+              f"{entry['dispatched_circuits']} circuits")
+    return 0
+
+
 _COMMANDS = {
     "train": _cmd_train,
     "characterize": _cmd_characterize,
     "scaling": _cmd_scaling,
     "draw": _cmd_draw,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

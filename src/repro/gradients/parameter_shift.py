@@ -24,6 +24,12 @@ backend's structure-grouped fast path evolve the clones as one stacked
 tensor — on :class:`~repro.hardware.IdealBackend`, a handful of batched
 einsum-style contractions instead of thousands of per-circuit
 ``tensordot`` passes.
+
+``backend`` may equally be a :class:`~repro.serving.ServiceExecutor`:
+the submission then flows through the shared
+:class:`~repro.serving.ExecutionService`, whose scheduler coalesces
+this caller's shifted clones with every other client's same-structure
+traffic before executing — the service-backed gradient path.
 """
 
 from __future__ import annotations

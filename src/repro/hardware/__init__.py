@@ -6,7 +6,14 @@ from repro.hardware.backend import (
     ExecutionResult,
     IdealBackend,
 )
-from repro.hardware.job import Job, JobError, JobStatus, submit_job
+from repro.hardware.job import (
+    Job,
+    JobError,
+    JobIdAllocator,
+    JobStatus,
+    reset_job_ids,
+    submit_job,
+)
 from repro.hardware.noise_injection import NoiseInjectionBackend
 from repro.hardware.noisy_backend import NoisyBackend
 from repro.hardware.provider import QuantumProvider
@@ -23,6 +30,7 @@ __all__ = [
     "IdealBackend",
     "Job",
     "JobError",
+    "JobIdAllocator",
     "JobStatus",
     "NoiseInjectionBackend",
     "NoisyBackend",
@@ -30,5 +38,6 @@ __all__ = [
     "QuantumRuntimeModel",
     "quantum_memory_gb",
     "quantum_runtime_seconds",
+    "reset_job_ids",
     "submit_job",
 ]

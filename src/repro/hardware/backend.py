@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -49,14 +50,28 @@ class CircuitRunMeter:
     Attributes:
         circuits: Total circuits executed (the paper's "#inferences").
         shots: Total shots across all executions.
-        by_purpose: Optional breakdown, keyed by the ``purpose`` tag the
-            caller passes to :meth:`Backend.run` (e.g. ``"gradient"`` vs
-            ``"forward"`` vs ``"validation"``).
+        by_purpose: Circuit-count breakdown, keyed by the ``purpose`` tag
+            the caller passes to :meth:`Backend.run` (e.g. ``"gradient"``
+            vs ``"forward"`` vs ``"validation"``).
+        shots_by_purpose: Consumed-shot breakdown under the same keys,
+            so callers can attribute shot budgets (not just circuit
+            counts) to each purpose.
+
+    All mutators and readers synchronize on an internal lock, so a
+    monitoring thread snapshotting a meter mid-``record`` (the serving
+    router reports per-backend meters while flushes are in flight)
+    always sees a consistent multi-field state.
     """
 
     circuits: int = 0
     shots: int = 0
     by_purpose: dict[str, int] = dataclasses.field(default_factory=dict)
+    shots_by_purpose: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    _lock: threading.Lock = dataclasses.field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, n_circuits: int, total_shots: int, purpose: str) -> None:
         """Account for one batch submission.
@@ -68,24 +83,64 @@ class CircuitRunMeter:
                 each result's ``ExecutionResult.shots``.
             purpose: The caller's usage tag.
         """
-        self.circuits += n_circuits
-        self.shots += total_shots
-        self.by_purpose[purpose] = (
-            self.by_purpose.get(purpose, 0) + n_circuits
-        )
+        with self._lock:
+            self.circuits += n_circuits
+            self.shots += total_shots
+            self.by_purpose[purpose] = (
+                self.by_purpose.get(purpose, 0) + n_circuits
+            )
+            self.shots_by_purpose[purpose] = (
+                self.shots_by_purpose.get(purpose, 0) + total_shots
+            )
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.circuits = 0
-        self.shots = 0
-        self.by_purpose.clear()
+        with self._lock:
+            self.circuits = 0
+            self.shots = 0
+            self.by_purpose.clear()
+            self.shots_by_purpose.clear()
 
     def snapshot(self) -> dict:
-        """Detached copy of the counters."""
+        """Detached copy of the counters (the unit :meth:`diff` consumes)."""
+        with self._lock:
+            return {
+                "circuits": self.circuits,
+                "shots": self.shots,
+                "by_purpose": dict(self.by_purpose),
+                "shots_by_purpose": dict(self.shots_by_purpose),
+            }
+
+    def diff(self, since: dict) -> dict:
+        """Delta between the current counters and an earlier snapshot.
+
+        Lets a caller report per-window usage — the serving scheduler
+        snapshots a backend's meter around each flush and publishes the
+        diff as that flush's cost.  Purposes whose delta is zero are
+        omitted from the breakdowns.
+
+        Args:
+            since: A dict previously returned by :meth:`snapshot`.
+
+        Returns:
+            A snapshot-shaped dict of ``current - since``.
+        """
+        current = self.snapshot()
+        by_purpose = {
+            purpose: count - since["by_purpose"].get(purpose, 0)
+            for purpose, count in current["by_purpose"].items()
+            if count - since["by_purpose"].get(purpose, 0)
+        }
+        shots_by_purpose = {
+            purpose: count - since["shots_by_purpose"].get(purpose, 0)
+            for purpose, count in current["shots_by_purpose"].items()
+            if count - since["shots_by_purpose"].get(purpose, 0)
+        }
         return {
-            "circuits": self.circuits,
-            "shots": self.shots,
-            "by_purpose": dict(self.by_purpose),
+            "circuits": current["circuits"] - since["circuits"],
+            "shots": current["shots"] - since["shots"],
+            "by_purpose": by_purpose,
+            "shots_by_purpose": shots_by_purpose,
         }
 
 
@@ -141,11 +196,23 @@ class Backend(abc.ABC):
         """
         return type(self)._execute_batch is not Backend._execute_batch
 
+    def results_deterministic(self) -> bool:
+        """Whether repeated runs of one circuit give bit-identical results.
+
+        True only for exact-expectation execution with no stochastic
+        element (no shot sampling, no noise realization) — the legality
+        condition for serving a result from the serving layer's cache
+        instead of re-executing.  Default False; backends that qualify
+        (e.g. :class:`IdealBackend` in exact mode) override.
+        """
+        return False
+
     def run(
         self,
         circuits: Sequence,
         shots: int = 1024,
         purpose: str = "run",
+        validate: bool = True,
     ) -> list[ExecutionResult]:
         """Validate, execute, and meter a batch of circuits.
 
@@ -159,12 +226,17 @@ class Backend(abc.ABC):
             circuits: ``QuantumCircuit`` objects.
             shots: Measurement shots per circuit (the paper uses 1024).
             purpose: Free-form tag for the usage meter.
+            validate: Set False only for circuits already validated
+                upstream (the serving layer validates at submit time),
+                so the hot path does not pay the structural checks
+                twice.
         """
         if shots < 1:
             raise ValueError("shots must be positive")
         circuits = list(circuits)
-        for circuit in circuits:
-            circuit.validate()
+        if validate:
+            for circuit in circuits:
+                circuit.validate()
         if self.supports_batching() and len(circuits) > 1:
             results: list[ExecutionResult | None] = [None] * len(circuits)
             for positions, members in group_by_structure(circuits):
@@ -239,6 +311,9 @@ class IdealBackend(Backend):
 
     def supports_batching(self) -> bool:
         return self.batched
+
+    def results_deterministic(self) -> bool:
+        return self.exact
 
     def _execute(self, circuit, shots: int) -> ExecutionResult:
         state = Statevector(circuit.n_qubits).evolve(circuit)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from collections.abc import Sequence
 
 
@@ -25,15 +26,55 @@ class JobStatus(enum.Enum):
     DONE = "done"
     ERROR = "error"
 
-_ORDER = [
+#: The legal happy-path state sequence (shared with the serving layer's
+#: :class:`~repro.serving.ServiceJob`, which walks the same lifecycle).
+LIFECYCLE = (
     JobStatus.CREATED,
     JobStatus.VALIDATED,
     JobStatus.QUEUED,
     JobStatus.RUNNING,
     JobStatus.DONE,
-]
+)
 
-_job_ids = itertools.count(1)
+_ORDER = list(LIFECYCLE)
+
+class JobIdAllocator:
+    """Monotonic, thread-safe source of ``job-NNNNNN`` identifiers.
+
+    Each :class:`~repro.hardware.provider.QuantumProvider` (and each
+    :class:`~repro.serving.ExecutionService`) owns its own allocator, so
+    the ids a run hands out depend only on that owner's submission
+    sequence — not on how many jobs other providers or earlier tests
+    created in the same process.  A module-level default backs bare
+    :class:`Job` construction for backwards compatibility; tests can
+    pin it with :func:`reset_job_ids`.
+
+    Args:
+        prefix: Identifier prefix (``"job"`` gives ``job-000001``...).
+    """
+
+    def __init__(self, prefix: str = "job"):
+        self._prefix = prefix
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    def next_id(self) -> str:
+        """The next identifier in sequence."""
+        with self._lock:
+            return f"{self._prefix}-{next(self._counter):06d}"
+
+    def reset(self) -> None:
+        """Restart numbering at 1."""
+        with self._lock:
+            self._counter = itertools.count(1)
+
+
+_DEFAULT_ALLOCATOR = JobIdAllocator()
+
+
+def reset_job_ids() -> None:
+    """Restart the process-wide default job-id sequence (test isolation)."""
+    _DEFAULT_ALLOCATOR.reset()
 
 
 class JobError(RuntimeError):
@@ -46,11 +87,19 @@ class Job:
     Jobs are produced by :meth:`QuantumProvider.submit` /
     :func:`submit_job`; calling :meth:`result` drives the remaining
     lifecycle transitions and executes on the backend.
+
+    Args:
+        job_id: Explicit identifier; when omitted one is drawn from
+            ``allocator`` (or the process-wide default).
+        allocator: The :class:`JobIdAllocator` to draw from.
     """
 
     def __init__(self, backend, circuits: Sequence, shots: int,
-                 purpose: str = "job"):
-        self.job_id = f"job-{next(_job_ids):06d}"
+                 purpose: str = "job", job_id: str | None = None,
+                 allocator: JobIdAllocator | None = None):
+        if job_id is None:
+            job_id = (allocator or _DEFAULT_ALLOCATOR).next_id()
+        self.job_id = job_id
         self.backend = backend
         self.circuits = list(circuits)
         self.shots = int(shots)
@@ -114,6 +163,8 @@ class Job:
 
 
 def submit_job(backend, circuits: Sequence, shots: int = 1024,
-               purpose: str = "job") -> Job:
+               purpose: str = "job",
+               allocator: JobIdAllocator | None = None) -> Job:
     """Create (but do not yet run) a job on a backend."""
-    return Job(backend, circuits, shots, purpose=purpose)
+    return Job(backend, circuits, shots, purpose=purpose,
+               allocator=allocator)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.hardware.backend import Backend, IdealBackend
-from repro.hardware.job import Job, submit_job
+from repro.hardware.job import Job, JobIdAllocator, submit_job
 from repro.hardware.noisy_backend import NoisyBackend
 from repro.noise.calibration import CALIBRATIONS, get_calibration
 
@@ -29,6 +29,9 @@ class QuantumProvider:
         self._seed = seed
         self._created = 0
         self._cache: dict[tuple, Backend] = {}
+        # Per-provider so job ids depend only on this provider's own
+        # submission sequence (reproducible across tests/processes).
+        self._job_ids = JobIdAllocator()
 
     def _next_seed(self) -> int | None:
         if self._seed is None:
@@ -81,4 +84,5 @@ class QuantumProvider:
     ) -> Job:
         """Create a job on the named backend (run it with ``job.result()``)."""
         backend = self.get_backend(backend_name)
-        return submit_job(backend, circuits, shots=shots, purpose=purpose)
+        return submit_job(backend, circuits, shots=shots, purpose=purpose,
+                          allocator=self._job_ids)

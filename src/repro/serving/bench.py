@@ -1,0 +1,49 @@
+"""Shared multi-client measurement harness.
+
+``repro serve-bench`` and ``benchmarks/test_serving_throughput.py``
+measure the same scenario — N client threads pushing circuit
+submissions against either a synchronous backend or a shared
+:class:`~repro.serving.ExecutionService` — and must time it the same
+way, or the two would report inconsistent speedups for one workload.
+The methodology lives here once: all clients block on a start gate so
+thread spawn cost stays outside the measurement, and the clock runs
+from gate-open to the last join.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+
+def concurrent_client_wall_time(
+    n_clients: int, client: Callable[[int], None]
+) -> float:
+    """Wall time for ``n_clients`` threads to run ``client(index)`` each.
+
+    Args:
+        n_clients: Number of concurrent client threads.
+        client: Per-client body; receives the client index.
+
+    Returns:
+        Seconds from releasing the start gate until every client
+        finished.
+    """
+    start_gate = threading.Event()
+
+    def gated(index: int) -> None:
+        start_gate.wait()
+        client(index)
+
+    threads = [
+        threading.Thread(target=gated, args=(index,))
+        for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start = time.perf_counter()
+    start_gate.set()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start

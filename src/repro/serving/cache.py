@@ -1,0 +1,105 @@
+"""Exact-result LRU cache keyed by canonical circuit fingerprints.
+
+Serving identical circuits twice is common at scale — validation sweeps
+re-run the same encoder circuits, clients retry, hyper-parameter scans
+share forward passes.  When execution is *deterministic* (exact
+expectations, no shot sampling, no noise realization —
+``Backend.results_deterministic()``), re-executing a circuit is pure
+waste: the result is a function of the circuit alone, so the
+:func:`~repro.circuits.circuit_fingerprint` digest (structure + resolved
+angles) is a complete cache key.
+
+The service only enables this cache when **every** routed backend is
+deterministic; sampled or noisy execution must re-run (each run is a
+fresh random realization — serving a memoized draw would silently
+correlate what callers assume are independent samples).  Hits hand back
+a defensive copy so callers can't poison cached arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.hardware.backend import ExecutionResult
+
+
+class ResultCache:
+    """Thread-safe LRU cache of :class:`ExecutionResult` by fingerprint.
+
+    Args:
+        capacity: Maximum entries kept; least-recently-used beyond that
+            are evicted.
+
+    Attributes:
+        hits / misses / evictions: Telemetry counters.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, ExecutionResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _copy(result: ExecutionResult) -> ExecutionResult:
+        return ExecutionResult(
+            counts=dict(result.counts),
+            expectations=result.expectations.copy(),
+            shots=result.shots,
+        )
+
+    def get(self, key: str) -> ExecutionResult | None:
+        """Look up a fingerprint; counts a hit or miss either way."""
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._copy(result)
+
+    def put(self, key: str, result: ExecutionResult) -> None:
+        """Insert (or refresh) a fingerprint -> result entry."""
+        with self._lock:
+            self._entries[key] = self._copy(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries; telemetry counters are kept."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Telemetry snapshot."""
+        with self._lock:
+            size = len(self._entries)
+        return {
+            "size": size,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        }

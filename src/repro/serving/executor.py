@@ -1,0 +1,87 @@
+"""Backend-compatible facade over an :class:`ExecutionService`.
+
+Everything above the hardware layer — the TrainingEngine, the
+parameter-shift / finite-difference / SPSA gradient engines, the
+evaluator — talks to a backend through three members: ``run``,
+``expectations``, and ``meter``.  ``ServiceExecutor`` implements
+exactly that surface on top of a shared service, so a training loop
+switches from direct execution to service-backed execution by swapping
+one object, and *many* training loops (threads) pointed at one service
+have their traffic coalesced into shared vectorized batches.
+
+The executor's meter is a **client-side** view: it records every
+circuit this client submitted — including ones the service answered
+from cache — which is what inference-budget accounting (Fig. 6's
+x-axis) means from the client's perspective.  The service's backend
+meters record what was physically executed; the difference is the
+cache's savings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.hardware.backend import CircuitRunMeter, ExecutionResult
+
+
+class ServiceExecutor:
+    """Run circuits through a service, with a Backend-shaped interface.
+
+    Args:
+        service: The shared :class:`~repro.serving.ExecutionService`.
+        priority: Queue priority for this client's submissions (lower
+            runs first — e.g. give validation sweeps a back seat).
+        name: Client name for logs; defaults to the service's name.
+    """
+
+    def __init__(self, service, priority: int = 0, name: str | None = None):
+        self._service = service
+        self.priority = int(priority)
+        self.name = name or f"{service.name}-client"
+        self.meter = CircuitRunMeter()
+
+    def run(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+    ) -> list[ExecutionResult]:
+        """Submit and wait; same contract as :meth:`Backend.run`."""
+        job = self._service.submit(
+            circuits, shots=shots, purpose=purpose, priority=self.priority
+        )
+        results = job.result()
+        self.meter.record(
+            len(results), sum(r.shots for r in results), purpose
+        )
+        return results
+
+    def expectations(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+    ) -> np.ndarray:
+        """Per-qubit Z expectations, stacked ``(len(circuits), n_qubits)``."""
+        results = self.run(circuits, shots=shots, purpose=purpose)
+        return np.stack([r.expectations for r in results])
+
+    def supports_batching(self) -> bool:
+        """The service coalesces, so batching is always on."""
+        return True
+
+    def results_deterministic(self) -> bool:
+        """Deterministic iff the whole routed pool is."""
+        return self._service.router.results_deterministic()
+
+    def seed(self, seed) -> None:
+        """No-op: sampling randomness lives in the routed backends.
+
+        Seed those (or build the pool seeded) before starting the
+        service; a shared service cannot be reseeded per client.
+        """
+
+    def __repr__(self) -> str:
+        return f"ServiceExecutor({self.name}, priority={self.priority})"

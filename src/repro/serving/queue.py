@@ -1,0 +1,151 @@
+"""Priority job queue with backpressure: the service's intake buffer.
+
+Clients hand work to the :class:`~repro.serving.ExecutionService`
+through this queue.  It is a classic bounded priority queue:
+
+* **priority** — lower numbers drain first (interactive traffic can cut
+  ahead of bulk gradient sweeps); ties drain in submission order, so
+  equal-priority traffic stays FIFO and exact-mode replays are
+  deterministic;
+* **backpressure** — when ``maxsize`` items are waiting, ``put`` blocks
+  the submitting client (or raises :class:`QueueFull` after
+  ``timeout``), so a burst of producers cannot grow memory without
+  bound — the submission rate degrades to the drain rate instead;
+* **close** — shutting the service closes the queue; blocked producers
+  and the scheduler's consumer loop wake immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from time import monotonic as _monotonic
+
+
+class QueueFull(RuntimeError):
+    """``put`` timed out while the queue was at capacity."""
+
+
+class QueueClosed(RuntimeError):
+    """The queue was closed and cannot accept new work."""
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue for service work items.
+
+    Args:
+        maxsize: Capacity bound triggering backpressure; ``0`` means
+            unbounded (no ``put`` ever blocks).
+    """
+
+    def __init__(self, maxsize: int = 0):
+        if maxsize < 0:
+            raise ValueError("maxsize cannot be negative")
+        self.maxsize = int(maxsize)
+        self._heap: list[tuple[int, int, object]] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        # Telemetry.
+        self.puts = 0
+        self.gets = 0
+        self.max_depth = 0
+        self.put_waits = 0  # puts that had to block on backpressure
+
+    def put(
+        self,
+        item,
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> None:
+        """Enqueue ``item``; blocks while the queue is at capacity.
+
+        Args:
+            item: Opaque payload.
+            priority: Lower drains first.
+            timeout: Seconds to wait for space; ``None`` waits forever.
+
+        Raises:
+            QueueFull: The timeout elapsed with the queue still full.
+            QueueClosed: The queue was closed.
+        """
+        with self._not_full:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if self.maxsize and len(self._heap) >= self.maxsize:
+                self.put_waits += 1
+                deadline = None
+                if timeout is not None:
+                    deadline = _monotonic() + timeout
+                while self.maxsize and len(self._heap) >= self.maxsize:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - _monotonic()
+                        if remaining <= 0:
+                            raise QueueFull(
+                                f"queue stayed at capacity {self.maxsize} "
+                                f"for {timeout}s"
+                            )
+                    self._not_full.wait(remaining)
+                    if self._closed:
+                        raise QueueClosed("queue is closed")
+            heapq.heappush(
+                self._heap, (int(priority), next(self._sequence), item)
+            )
+            self.puts += 1
+            self.max_depth = max(self.max_depth, len(self._heap))
+            self._not_empty.notify()
+
+    def get(self, timeout: float | None = None):
+        """Dequeue the highest-priority item, or ``None`` on timeout.
+
+        Returns ``None`` when the queue closes while empty — consumers
+        use that (plus :meth:`closed`) as their shutdown signal.
+        """
+        with self._not_empty:
+            deadline = None
+            if timeout is not None:
+                deadline = _monotonic() + timeout
+            while not self._heap:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - _monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
+            _, _, item = heapq.heappop(self._heap)
+            self.gets += 1
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked producer/consumer."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def stats(self) -> dict:
+        """Telemetry snapshot."""
+        with self._lock:
+            return {
+                "depth": len(self._heap),
+                "max_depth": self.max_depth,
+                "puts": self.puts,
+                "gets": self.gets,
+                "put_waits": self.put_waits,
+                "maxsize": self.maxsize,
+            }

@@ -1,0 +1,152 @@
+"""Multi-backend router: spread flushed batches across execution targets.
+
+One simulator (or one device) saturates; a fleet of them serves more.
+The router owns a pool of :class:`~repro.hardware.Backend` objects and
+picks which one executes each flushed batch:
+
+* ``"round_robin"`` — rotate through the pool in order; fair when all
+  backends are equally fast and batches are equally sized;
+* ``"least_outstanding"`` — pick the backend with the fewest batches
+  currently in flight; adapts when backends differ in speed or batches
+  differ in cost (the classic load-balancer heuristic).
+
+Each backend executes at most one batch at a time (a per-backend lock —
+``Backend.run`` mutates the meter and the sampling RNG, neither of
+which is thread-safe), so ``least_outstanding`` doubles as a
+queue-depth signal.  Per-backend meters stay the source of truth for
+usage; :meth:`Router.stats` rolls them up for service-level reporting.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+from repro.hardware.backend import Backend, ExecutionResult
+
+#: Selection policies understood by :class:`Router`.
+POLICIES = ("round_robin", "least_outstanding")
+
+
+class Router:
+    """Dispatch batches over a pool of backends under one policy.
+
+    Args:
+        backends: Non-empty backend pool.
+        policy: One of :data:`POLICIES`.
+    """
+
+    def __init__(self, backends: Sequence[Backend], policy: str = "round_robin"):
+        backends = list(backends)
+        if not backends:
+            raise ValueError("Router needs at least one backend")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; expected one of "
+                f"{POLICIES}"
+            )
+        self.backends = backends
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._next = 0
+        self._outstanding = [0] * len(backends)
+        self._dispatched = [0] * len(backends)
+        self._circuits = [0] * len(backends)
+        self._run_locks = [threading.Lock() for _ in backends]
+
+    def results_deterministic(self) -> bool:
+        """True when every backend in the pool is deterministic."""
+        return all(b.results_deterministic() for b in self.backends)
+
+    def _select(self) -> int:
+        if self.policy == "round_robin":
+            index = self._next
+            self._next = (self._next + 1) % len(self.backends)
+            return index
+        # least_outstanding: first backend with the fewest in-flight
+        # batches; stable tie-break keeps single-backend pools trivial.
+        return min(
+            range(len(self.backends)), key=lambda i: self._outstanding[i]
+        )
+
+    def execute(
+        self,
+        circuits: Sequence,
+        shots: int,
+        purpose: str,
+        validate: bool = True,
+    ) -> tuple[list[ExecutionResult], Backend, dict]:
+        """Route one batch to a backend and run it.
+
+        Selection and in-flight accounting happen under the router lock;
+        execution itself holds only the chosen backend's run lock, so
+        distinct backends execute concurrently.
+
+        Returns:
+            ``(results, backend, window)`` — ``window`` is the meter
+            delta this batch alone consumed (via
+            :meth:`~repro.hardware.CircuitRunMeter.diff`), computed
+            under the run lock so concurrent flushes on other backends
+            can't bleed into it.
+        """
+        with self._lock:
+            index = self._select()
+            self._outstanding[index] += 1
+            self._dispatched[index] += 1
+            self._circuits[index] += len(circuits)
+        backend = self.backends[index]
+        try:
+            with self._run_locks[index]:
+                before = backend.meter.snapshot()
+                results = backend.run(
+                    circuits, shots=shots, purpose=purpose,
+                    validate=validate,
+                )
+                window = backend.meter.diff(before)
+            return results, backend, window
+        finally:
+            with self._lock:
+                self._outstanding[index] -= 1
+
+    def meter_totals(self) -> dict:
+        """Pool-wide roll-up of every backend's usage meter."""
+        totals = {
+            "circuits": 0,
+            "shots": 0,
+            "by_purpose": {},
+            "shots_by_purpose": {},
+        }
+        for backend in self.backends:
+            snapshot = backend.meter.snapshot()
+            totals["circuits"] += snapshot["circuits"]
+            totals["shots"] += snapshot["shots"]
+            for purpose, count in snapshot["by_purpose"].items():
+                totals["by_purpose"][purpose] = (
+                    totals["by_purpose"].get(purpose, 0) + count
+                )
+            for purpose, count in snapshot["shots_by_purpose"].items():
+                totals["shots_by_purpose"][purpose] = (
+                    totals["shots_by_purpose"].get(purpose, 0) + count
+                )
+        return totals
+
+    def stats(self) -> dict:
+        """Per-backend dispatch counters plus meter snapshots."""
+        with self._lock:
+            outstanding = list(self._outstanding)
+            dispatched = list(self._dispatched)
+            circuits = list(self._circuits)
+        return {
+            "policy": self.policy,
+            "backends": [
+                {
+                    "name": backend.name,
+                    "dispatched_batches": dispatched[i],
+                    "dispatched_circuits": circuits[i],
+                    "outstanding": outstanding[i],
+                    "meter": backend.meter.snapshot(),
+                }
+                for i, backend in enumerate(self.backends)
+            ],
+            "meter_totals": self.meter_totals(),
+        }

@@ -1,0 +1,262 @@
+"""Coalescing scheduler: turn many small submissions into few big batches.
+
+The batched engine (PR 1) is fastest when ``Backend._execute_batch``
+receives *many* same-structure circuits at once — but individual
+clients each submit only a handful.  The scheduler closes that gap: it
+drains the service's :class:`~repro.serving.JobQueue` and coalesces
+work items into **buckets** keyed by
+
+    ``(structure_signature, shots, purpose)``
+
+so circuits from independent clients that share a structural template
+(the normal case: every parameter-shift clone, every re-encoded data
+row of one task) accumulate into a single bucket.  A bucket is flushed
+to the :class:`~repro.serving.Router` when either
+
+* it reaches ``max_batch_size`` circuits (**size flush**), or
+* its oldest item has waited ``max_delay_s`` seconds (**deadline
+  flush**) — the latency bound a single idle client pays.
+
+Each flush is one ``Backend.run`` call on one routed backend, i.e. one
+vectorized ``_execute_batch`` per structure group; shots and purpose
+are part of the bucket key precisely so the whole bucket is a legal
+single submission (one shot setting, one meter tag).  Flushes are
+handed to a small dispatch pool (one worker per backend) so a slow
+backend never stalls coalescing for the others.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serving.cache import ResultCache
+from repro.serving.queue import JobQueue
+from repro.serving.router import Router
+
+
+@dataclasses.dataclass
+class WorkItem:
+    """One circuit awaiting execution, tied back to its submission.
+
+    Attributes:
+        circuit: The circuit to run.
+        shots: Requested shots.
+        purpose: Usage-meter tag.
+        job: The originating :class:`~repro.serving.ServiceJob`.
+        index: Slot in the job's result list this item fills.
+        fingerprint: Cache key, pre-computed at submit time (``None``
+            when the cache is disabled).
+        release: Called exactly once when the item resolves (result or
+            failure); the service's backpressure accounting.
+    """
+
+    circuit: object
+    shots: int
+    purpose: str
+    job: object
+    index: int
+    fingerprint: str | None = None
+    release: object | None = None
+
+
+class _Bucket:
+    """Accumulating same-key work items plus their flush deadline."""
+
+    __slots__ = ("items", "deadline")
+
+    def __init__(self, deadline: float):
+        self.items: list[WorkItem] = []
+        self.deadline = deadline
+
+
+class CoalescingScheduler:
+    """Background consumer that batches queue items and dispatches them.
+
+    Args:
+        queue: Intake queue (closed by the owning service on stop).
+        router: Backend pool executing flushed batches.
+        cache: Optional result cache to fill after execution.
+        max_batch_size: Size-flush threshold per bucket.
+        max_delay_s: Deadline-flush bound per bucket.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        router: Router,
+        cache: ResultCache | None = None,
+        max_batch_size: int = 256,
+        max_delay_s: float = 0.005,
+    ):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s cannot be negative")
+        self._queue = queue
+        self._router = router
+        self._cache = cache
+        self.max_batch_size = int(max_batch_size)
+        self.max_delay_s = float(max_delay_s)
+        self._buckets: dict[tuple, _Bucket] = {}
+        self._thread: threading.Thread | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._stats_lock = threading.Lock()
+        self.flushes = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self.drain_flushes = 0
+        self.circuits_dispatched = 0
+        self.largest_batch = 0
+        self.last_flush: dict | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the consumer thread and the dispatch pool."""
+        if self._thread is not None:
+            return
+        self._pool = ThreadPoolExecutor(
+            max_workers=len(self._router.backends),
+            thread_name_prefix="repro-serving-dispatch",
+        )
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serving-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def join(self) -> None:
+        """Wait for the consumer to drain after the queue closes."""
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- consumer loop ---------------------------------------------------
+
+    def _next_deadline(self) -> float | None:
+        if not self._buckets:
+            return None
+        return min(bucket.deadline for bucket in self._buckets.values())
+
+    def _loop(self) -> None:
+        while True:
+            deadline = self._next_deadline()
+            if deadline is None:
+                # No bucket waiting: block until work arrives or the
+                # queue closes (both notify) — an idle service costs
+                # zero wakeups.
+                timeout = None
+            else:
+                timeout = max(0.0, deadline - time.monotonic())
+            item = self._queue.get(timeout=timeout)
+            if item is None:
+                if self._queue.closed:
+                    self._flush_all("drain")
+                    return
+                self._flush_expired()
+                continue
+            self._add(item)
+            self._flush_expired()
+
+    def _add(self, item: WorkItem) -> None:
+        key = (
+            item.circuit.structure_signature(),
+            item.shots,
+            item.purpose,
+        )
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = _Bucket(time.monotonic() + self.max_delay_s)
+            self._buckets[key] = bucket
+        bucket.items.append(item)
+        if len(bucket.items) >= self.max_batch_size:
+            del self._buckets[key]
+            self._dispatch(bucket, "size")
+
+    def _flush_expired(self) -> None:
+        now = time.monotonic()
+        for key in [
+            k for k, b in self._buckets.items() if b.deadline <= now
+        ]:
+            self._dispatch(self._buckets.pop(key), "deadline")
+
+    def _flush_all(self, reason: str) -> None:
+        for key in list(self._buckets):
+            self._dispatch(self._buckets.pop(key), reason)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, bucket: _Bucket, reason: str) -> None:
+        with self._stats_lock:
+            self.flushes += 1
+            if reason == "size":
+                self.size_flushes += 1
+            elif reason == "deadline":
+                self.deadline_flushes += 1
+            else:
+                self.drain_flushes += 1
+            self.circuits_dispatched += len(bucket.items)
+            self.largest_batch = max(self.largest_batch, len(bucket.items))
+        for item in bucket.items:
+            item.job._mark_running()
+        assert self._pool is not None
+        self._pool.submit(self._run_batch, bucket.items, reason)
+
+    def _run_batch(self, items: list[WorkItem], reason: str) -> None:
+        circuits = [item.circuit for item in items]
+        shots = items[0].shots
+        purpose = items[0].purpose
+        try:
+            # validate=False: every item passed circuit.validate() at
+            # submit time; re-checking per flush would double the cost.
+            results, backend, window = self._router.execute(
+                circuits, shots=shots, purpose=purpose, validate=False
+            )
+        except BaseException as exc:  # propagate to every waiting client
+            for item in items:
+                item.job._fail(exc)
+                if item.release is not None:
+                    item.release()
+            return
+        with self._stats_lock:
+            self.last_flush = {
+                "reason": reason,
+                "batch_size": len(items),
+                "backend": backend.name,
+                "meter": window,
+            }
+        if self._cache is not None:
+            for item, result in zip(items, results):
+                if item.fingerprint is not None:
+                    self._cache.put(item.fingerprint, result)
+        for item, result in zip(items, results):
+            item.job._fulfill(item.index, result)
+            if item.release is not None:
+                item.release()
+
+    def stats(self) -> dict:
+        """Telemetry snapshot."""
+        with self._stats_lock:
+            return {
+                "flushes": self.flushes,
+                "size_flushes": self.size_flushes,
+                "deadline_flushes": self.deadline_flushes,
+                "drain_flushes": self.drain_flushes,
+                "circuits_dispatched": self.circuits_dispatched,
+                "largest_batch": self.largest_batch,
+                "pending_buckets": len(self._buckets),
+                "max_batch_size": self.max_batch_size,
+                "max_delay_s": self.max_delay_s,
+                "last_flush": dict(self.last_flush)
+                if self.last_flush
+                else None,
+            }

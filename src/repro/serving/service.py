@@ -1,0 +1,431 @@
+"""The async execution service: futures-based intake over batched backends.
+
+``ExecutionService`` is the serving front door the ROADMAP's
+"heavy traffic from many concurrent clients" scenario needs.  Any
+number of threads call :meth:`ExecutionService.submit`; each call
+returns immediately with a :class:`ServiceJob` (a future), and the
+pipeline behind it is::
+
+    clients ── submit() ──> JobQueue ──> CoalescingScheduler ──> Router
+                  │ (priority,             (group by structure     │
+                  │  backpressure)          across clients,        ▼
+                  │                         flush on size or   Backend pool
+                  └── ResultCache ◄──────── deadline)          (_execute_batch)
+
+Submissions walk the same lifecycle as :class:`repro.hardware.Job`
+(``created -> validated -> queued -> running -> done`` — Sec. 3.2's
+provider pipeline), but asynchronously: validation is synchronous at
+submit time (bad circuits fail fast, before they consume queue
+capacity), everything after happens on service threads.
+
+Caching: when *every* routed backend reports
+``results_deterministic()`` (exact expectations, no sampling, no
+noise), results are memoized by canonical circuit fingerprint and
+repeat submissions are served from the cache without touching a
+backend.  Stochastic backends never cache — each run must be a fresh
+random realization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+
+from repro.hardware.backend import Backend, ExecutionResult
+from repro.hardware.job import LIFECYCLE, JobError, JobIdAllocator, JobStatus
+from repro.serving.cache import ResultCache
+from repro.serving.queue import JobQueue, QueueClosed, QueueFull
+from repro.serving.router import Router
+from repro.serving.scheduler import CoalescingScheduler, WorkItem
+
+
+class ServiceJob:
+    """A client's asynchronous submission; resolves to execution results.
+
+    Walks the :class:`~repro.hardware.JobStatus` lifecycle.  Obtain the
+    results with :meth:`result` (blocking) or poll :meth:`done`.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        circuits: Sequence,
+        shots: int,
+        purpose: str,
+        priority: int,
+    ):
+        self.job_id = job_id
+        self.circuits = list(circuits)
+        self.shots = int(shots)
+        self.purpose = purpose
+        self.priority = int(priority)
+        self.status = JobStatus.CREATED
+        self.error: BaseException | None = None
+        self.cache_hits = 0
+        self._results: list[ExecutionResult | None] = [None] * len(
+            self.circuits
+        )
+        self._remaining = len(self.circuits)
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- lifecycle (service-internal) -----------------------------------
+
+    def _advance_to(self, target: JobStatus) -> None:
+        """Walk the shared lifecycle forward to ``target`` (idempotent)."""
+        with self._lock:
+            if self.status is JobStatus.ERROR:
+                return
+            current = LIFECYCLE.index(self.status)
+            wanted = LIFECYCLE.index(target)
+            if wanted > current:
+                self.status = target
+
+    def _mark_running(self) -> None:
+        self._advance_to(JobStatus.RUNNING)
+
+    def _fulfill(self, index: int, result: ExecutionResult) -> None:
+        with self._lock:
+            if self._results[index] is None:
+                self._remaining -= 1
+            self._results[index] = result
+            finished = self._remaining == 0
+        if finished:
+            self._advance_to(JobStatus.DONE)
+            self._done.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._lock:
+            self.error = exc
+            self.status = JobStatus.ERROR
+        self._done.set()
+
+    # -- client API ------------------------------------------------------
+
+    def done(self) -> bool:
+        """True once results (or a failure) are available."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> list[ExecutionResult]:
+        """Block until finished; one result per submitted circuit.
+
+        Raises:
+            TimeoutError: Not finished within ``timeout`` seconds.
+            JobError: The submission failed; the original backend
+                exception is chained as the cause.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"{self.job_id} not finished within {timeout}s"
+            )
+        if self.error is not None:
+            raise JobError(
+                f"{self.job_id} failed: {self.error}"
+            ) from self.error
+        return list(self._results)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceJob({self.job_id}, {len(self.circuits)} circuits, "
+            f"{self.status.value})"
+        )
+
+
+class ExecutionService:
+    """Aggregates async submissions into batched, routed, cached execution.
+
+    Args:
+        backends: One backend or a pool; a pool is load-balanced by the
+            router ``policy`` (``"round_robin"`` / ``"least_outstanding"``).
+        policy: Router policy.
+        max_batch_size: Coalescer size-flush threshold.
+        max_delay_s: Coalescer deadline-flush bound — the worst-case
+            extra latency a lone submission pays for batching.
+        queue_capacity: Backpressure bound on circuits pending anywhere
+            in the service (intake queue, coalescing buckets, or
+            executing).  Submitters block when it is reached, so burst
+            traffic degrades to the drain rate instead of growing
+            memory without bound.  ``0`` = unbounded.  A single
+            submission larger than the bound is admitted alone (it
+            could otherwise never run).
+        cache_capacity: LRU entries for the exact-result cache.
+        enable_cache: Master switch; the cache additionally requires
+            every backend to be deterministic (exact mode).
+        name: Service name (job-id prefix).
+    """
+
+    def __init__(
+        self,
+        backends: Backend | Sequence[Backend],
+        policy: str = "round_robin",
+        max_batch_size: int = 256,
+        max_delay_s: float = 0.005,
+        queue_capacity: int = 10_000,
+        cache_capacity: int = 4096,
+        enable_cache: bool = True,
+        name: str = "svc",
+    ):
+        if isinstance(backends, Backend):
+            backends = [backends]
+        self.name = name
+        self.router = Router(backends, policy=policy)
+        # The intake queue itself is unbounded: _admit() already bounds
+        # every circuit in the pipeline (queue included), and a second
+        # cap here would only make oversized submissions block twice.
+        self.queue = JobQueue(maxsize=0)
+        self.cache: ResultCache | None = None
+        if enable_cache and self.router.results_deterministic():
+            self.cache = ResultCache(capacity=cache_capacity)
+        self.scheduler = CoalescingScheduler(
+            self.queue,
+            self.router,
+            cache=self.cache,
+            max_batch_size=max_batch_size,
+            max_delay_s=max_delay_s,
+        )
+        self._job_ids = JobIdAllocator(prefix=name)
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+        self.queue_capacity = int(queue_capacity)
+        self._pending = 0  # circuits admitted but not yet resolved
+        self._pending_cond = threading.Condition()
+        self.submissions = 0
+        self.circuits_submitted = 0
+        self.circuits_from_cache = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ExecutionService":
+        """Start the scheduler; idempotent.  ``submit`` auto-starts."""
+        with self._lock:
+            if self._stopped:
+                raise RuntimeError("service already stopped")
+            if not self._started:
+                self.scheduler.start()
+                self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Drain: close intake, flush pending work, join all threads.
+
+        Every already-accepted submission completes; new ``submit``
+        calls raise.  Idempotent.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        self.queue.close()
+        with self._pending_cond:
+            self._pending_cond.notify_all()
+        if started:
+            self.scheduler.join()
+
+    def __enter__(self) -> "ExecutionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- backpressure ----------------------------------------------------
+
+    def _admit(self, n_circuits: int, timeout: float | None) -> None:
+        """Block until ``n_circuits`` fit under the pending bound.
+
+        The bound covers the whole pipeline — queued, coalescing, and
+        executing circuits — so it is real end-to-end backpressure, not
+        just an intake-buffer limit.
+        """
+        if not self.queue_capacity:
+            with self._pending_cond:
+                self._pending += n_circuits
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._pending_cond:
+            # An oversized submission is admitted once the pipeline is
+            # empty; refusing it forever would deadlock the client.
+            while (
+                self._pending
+                and self._pending + n_circuits > self.queue_capacity
+            ):
+                if self._stopped:
+                    raise QueueClosed("service is stopped")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise QueueFull(
+                            f"{self._pending} circuits pending against a "
+                            f"capacity of {self.queue_capacity}"
+                        )
+                self._pending_cond.wait(remaining)
+            self._pending += n_circuits
+
+    def _release_one(self) -> None:
+        """A pending circuit resolved (result, cache fill, or failure)."""
+        with self._pending_cond:
+            self._pending -= 1
+            self._pending_cond.notify_all()
+
+    @property
+    def pending_circuits(self) -> int:
+        """Circuits currently admitted but unresolved (load signal)."""
+        with self._pending_cond:
+            return self._pending
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> ServiceJob:
+        """Asynchronously execute ``circuits``; returns a future.
+
+        Mirrors :meth:`repro.hardware.Backend.run` semantics (same
+        validation, same metering purposes, one result per circuit, in
+        submission order) but returns immediately.  Cache-eligible
+        circuits already memoized are served without execution.
+
+        Args:
+            circuits: ``QuantumCircuit`` objects.
+            shots: Shots per circuit; part of the coalescing key, so
+                only same-shot work shares a batch.
+            purpose: Usage-meter tag (also part of the coalescing key —
+                keeps per-purpose accounting exact).
+            priority: Queue priority; lower runs first.
+            timeout: Seconds to wait for queue capacity before raising
+                :class:`~repro.serving.QueueFull` (backpressure).
+
+        Raises:
+            JobError: A circuit failed validation (synchronously, like
+                :meth:`repro.hardware.Job.validate`).
+        """
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        self.start()
+        job = ServiceJob(
+            self._job_ids.next_id(), circuits, shots, purpose, priority
+        )
+        try:
+            for circuit in job.circuits:
+                circuit.validate()
+        except ValueError as exc:
+            job._fail(exc)
+            raise JobError(str(exc)) from exc
+        job._advance_to(JobStatus.VALIDATED)
+
+        with self._lock:
+            self.submissions += 1
+            self.circuits_submitted += len(job.circuits)
+
+        pending: list[WorkItem] = []
+        for index, circuit in enumerate(job.circuits):
+            fingerprint = None
+            if self.cache is not None:
+                fingerprint = circuit.fingerprint()
+                cached = self.cache.get(fingerprint)
+                if cached is not None:
+                    job.cache_hits += 1
+                    with self._lock:
+                        self.circuits_from_cache += 1
+                    job._fulfill(index, cached)
+                    continue
+            pending.append(
+                WorkItem(
+                    # Copied at submit time: the client may rebind the
+                    # original's angles in place before the flush reads
+                    # them (the futures API invites pipelining), which
+                    # would corrupt the result — and the cache entry
+                    # keyed by the fingerprint taken above.
+                    circuit=circuit.copy(),
+                    shots=shots,
+                    purpose=purpose,
+                    job=job,
+                    index=index,
+                    fingerprint=fingerprint,
+                    release=self._release_one,
+                )
+            )
+
+        if not job.circuits:
+            job._advance_to(JobStatus.DONE)
+            job._done.set()
+            return job
+        if not pending:
+            # Fully served from cache; the last _fulfill completed it.
+            return job
+
+        try:
+            self._admit(len(pending), timeout)
+        except Exception as exc:
+            job._fail(exc)
+            raise
+        job._advance_to(JobStatus.QUEUED)
+        enqueued = 0
+        try:
+            # Unbounded queue: this only raises QueueClosed when stop()
+            # races the submission.
+            for item in pending:
+                self.queue.put(item, priority=priority)
+                enqueued += 1
+        except Exception as exc:
+            # Items already enqueued resolve against a failed job (their
+            # late _fulfill calls are absorbed and release themselves);
+            # un-enqueued reservations are returned here.  The client
+            # sees the shutdown error both here and via the future.
+            for _ in range(len(pending) - enqueued):
+                self._release_one()
+            job._fail(exc)
+            raise
+        return job
+
+    def run(
+        self,
+        circuits: Sequence,
+        shots: int = 1024,
+        purpose: str = "run",
+        priority: int = 0,
+    ) -> list[ExecutionResult]:
+        """Synchronous convenience: ``submit(...).result()``."""
+        return self.submit(
+            circuits, shots=shots, purpose=purpose, priority=priority
+        ).result()
+
+    def executor(self, priority: int = 0, name: str | None = None):
+        """A :class:`~repro.serving.ServiceExecutor` bound to this service.
+
+        The executor quacks like a :class:`~repro.hardware.Backend`, so
+        the TrainingEngine, the gradient engines, and the evaluator can
+        run through the service unchanged.
+        """
+        from repro.serving.executor import ServiceExecutor
+
+        return ServiceExecutor(self, priority=priority, name=name)
+
+    # -- telemetry -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-level roll-up: intake, cache, scheduler, router."""
+        with self._lock:
+            submissions = self.submissions
+            circuits_submitted = self.circuits_submitted
+            circuits_from_cache = self.circuits_from_cache
+        return {
+            "name": self.name,
+            "submissions": submissions,
+            "circuits_submitted": circuits_submitted,
+            "circuits_from_cache": circuits_from_cache,
+            "pending_circuits": self.pending_circuits,
+            "queue_capacity": self.queue_capacity,
+            "cache": self.cache.stats() if self.cache else None,
+            "queue": self.queue.stats(),
+            "scheduler": self.scheduler.stats(),
+            "router": self.router.stats(),
+        }

@@ -64,17 +64,36 @@ class TrainingEngine:
             machine it trains on).
         train_data / val_data: Optional pre-loaded datasets; generated
             from ``config.task`` when omitted.
+        service: Optional :class:`repro.serving.ExecutionService`.  When
+            given, all circuit execution is submitted through the
+            service's coalescing scheduler instead of driving the
+            backend synchronously — concurrent engines sharing one
+            service have their forward and gradient circuits batched
+            together.  ``train_backend`` may then be ``None`` (the
+            service's routed pool executes); an explicitly passed
+            backend still wins for the role it was passed for.
     """
 
     def __init__(
         self,
         config: TrainingConfig,
-        train_backend,
+        train_backend=None,
         eval_backend=None,
         train_data: Dataset | None = None,
         val_data: Dataset | None = None,
+        service=None,
     ):
+        if train_backend is None and service is None:
+            raise ValueError(
+                "TrainingEngine needs a train_backend or a service"
+            )
+        if service is not None and train_backend is None:
+            train_backend = service.executor(name="train")
+        if service is not None and eval_backend is None:
+            # Validation yields to training traffic in the shared queue.
+            eval_backend = service.executor(priority=1, name="eval")
         self.config = config
+        self.service = service
         self.backend = train_backend
         self.eval_backend = eval_backend or train_backend
         self.architecture: QnnArchitecture = get_architecture(config.task)

@@ -90,6 +90,52 @@ class TestMeter:
         backend.run([bell_circuit()])
         assert snapshot["circuits"] == 1
 
+    def test_shots_accounted_per_purpose(self):
+        backend = IdealBackend(exact=False, seed=0)
+        backend.run([bell_circuit()] * 3, shots=100, purpose="forward")
+        backend.run([bell_circuit()] * 2, shots=50, purpose="gradient")
+        assert backend.meter.shots_by_purpose == {
+            "forward": 300, "gradient": 100,
+        }
+
+    def test_exact_mode_meters_zero_shots_per_purpose(self):
+        backend = IdealBackend(exact=True)
+        backend.run([bell_circuit()], purpose="forward")
+        assert backend.meter.by_purpose == {"forward": 1}
+        assert backend.meter.shots_by_purpose == {"forward": 0}
+
+    def test_diff_reports_window_delta(self):
+        backend = IdealBackend(exact=False, seed=0)
+        backend.run([bell_circuit()] * 2, shots=10, purpose="forward")
+        window_start = backend.meter.snapshot()
+        backend.run([bell_circuit()] * 3, shots=20, purpose="gradient")
+        backend.run([bell_circuit()], shots=10, purpose="forward")
+        delta = backend.meter.diff(window_start)
+        assert delta == {
+            "circuits": 4,
+            "shots": 70,
+            "by_purpose": {"gradient": 3, "forward": 1},
+            "shots_by_purpose": {"gradient": 60, "forward": 10},
+        }
+
+    def test_diff_omits_zero_purposes(self):
+        backend = IdealBackend(exact=False, seed=0)
+        backend.run([bell_circuit()], shots=10, purpose="forward")
+        window_start = backend.meter.snapshot()
+        backend.run([bell_circuit()], shots=10, purpose="gradient")
+        delta = backend.meter.diff(window_start)
+        assert "forward" not in delta["by_purpose"]
+
+    def test_diff_of_identical_snapshots_is_zero(self):
+        backend = IdealBackend()
+        backend.run([bell_circuit()])
+        assert backend.meter.diff(backend.meter.snapshot()) == {
+            "circuits": 0,
+            "shots": 0,
+            "by_purpose": {},
+            "shots_by_purpose": {},
+        }
+
 
 class TestNoisyBackend:
     def test_noisy_expectations_biased_towards_zero(self):
@@ -189,6 +235,27 @@ class TestJobLifecycle:
         b = submit_job(backend, [bell_circuit()])
         assert a.job_id != b.job_id
 
+    def test_explicit_id_and_allocator(self):
+        from repro.hardware import JobIdAllocator
+
+        backend = IdealBackend()
+        explicit = Job(backend, [bell_circuit()], 16, job_id="mine-42")
+        assert explicit.job_id == "mine-42"
+        allocator = JobIdAllocator(prefix="exp")
+        first = submit_job(backend, [bell_circuit()], allocator=allocator)
+        second = submit_job(backend, [bell_circuit()], allocator=allocator)
+        assert (first.job_id, second.job_id) == ("exp-000001", "exp-000002")
+
+    def test_default_ids_resettable(self):
+        from repro.hardware import reset_job_ids
+
+        backend = IdealBackend()
+        reset_job_ids()
+        a = submit_job(backend, [bell_circuit()])
+        reset_job_ids()
+        b = submit_job(backend, [bell_circuit()])
+        assert a.job_id == b.job_id == "job-000001"
+
 
 class TestProvider:
     def test_lists_devices_and_simulators(self):
@@ -218,3 +285,13 @@ class TestProvider:
         job = provider.submit("ideal", [bell_circuit()], shots=8)
         results = job.result()
         assert np.allclose(results[0].expectations, [0.0, 0.0], atol=1e-12)
+
+    def test_job_ids_are_per_provider(self):
+        """Two providers number their jobs independently (reproducible
+        runs regardless of what other providers/tests did first)."""
+        first = QuantumProvider(seed=0)
+        first.submit("ideal", [bell_circuit()])
+        first.submit("ideal", [bell_circuit()])
+        fresh = QuantumProvider(seed=0)
+        job = fresh.submit("ideal", [bell_circuit()])
+        assert job.job_id == "job-000001"

@@ -73,6 +73,18 @@ class TestOtherCommands:
         assert "q0:" in out and "q3:" in out
         assert "RZZ(t0)" in out
 
+    def test_serve_bench(self, capsys):
+        code = main([
+            "serve-bench", "--clients", "3", "--submissions", "6",
+            "--qubits", "3", "--backends", "2",
+            "--policy", "least_outstanding",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "cache" in out
+        assert out.count("backend ideal") == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -1,0 +1,628 @@
+"""Tests for the serving subsystem: queue, cache, router, service."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_fingerprint
+from repro.hardware import (
+    ExecutionResult,
+    IdealBackend,
+    JobError,
+    JobStatus,
+    NoisyBackend,
+)
+from repro.serving import (
+    ExecutionService,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    ResultCache,
+    Router,
+)
+
+
+class SlowBackend(IdealBackend):
+    """Exact backend whose batches take a controllable wall time."""
+
+    def __init__(self, delay_s: float = 0.1, **kwargs):
+        super().__init__(exact=True, **kwargs)
+        self.delay_s = delay_s
+
+    def _execute(self, circuit, shots):
+        import time
+
+        time.sleep(self.delay_s)
+        return super()._execute(circuit, shots)
+
+    def _execute_batch(self, circuits, shots):
+        import time
+
+        time.sleep(self.delay_s)
+        return super()._execute_batch(circuits, shots)
+
+
+def ry_circuit(theta: float, n_qubits: int = 2) -> QuantumCircuit:
+    circuit = QuantumCircuit(n_qubits)
+    for wire in range(n_qubits):
+        circuit.add("ry", wire, theta + wire)
+    circuit.add("cx", (0, 1))
+    return circuit
+
+
+def ghz_circuit(n_qubits: int = 3) -> QuantumCircuit:
+    circuit = QuantumCircuit(n_qubits)
+    circuit.add("h", 0)
+    for wire in range(n_qubits - 1):
+        circuit.add("cx", (wire, wire + 1))
+    return circuit
+
+
+class TestFingerprint:
+    def test_equal_circuits_equal_fingerprints(self):
+        assert ry_circuit(0.3).fingerprint() == ry_circuit(0.3).fingerprint()
+
+    def test_angle_value_changes_fingerprint(self):
+        assert ry_circuit(0.3).fingerprint() != ry_circuit(0.4).fingerprint()
+
+    def test_structure_changes_fingerprint(self):
+        a = QuantumCircuit(1).add("rx", 0, 0.5)
+        b = QuantumCircuit(1).add("ry", 0, 0.5)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_wire_placement_changes_fingerprint(self):
+        a = QuantumCircuit(2).add("ry", 0, 0.5)
+        b = QuantumCircuit(2).add("ry", 1, 0.5)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_qubit_count_changes_fingerprint(self):
+        a = QuantumCircuit(1).add("ry", 0, 0.5)
+        b = QuantumCircuit(2).add("ry", 0, 0.5)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_bound_theta_included(self):
+        base = QuantumCircuit(1)
+        base.add_trainable("ry", 0, 0)
+        assert (
+            base.bound([0.1]).fingerprint() != base.bound([0.2]).fingerprint()
+        )
+
+    def test_shift_offset_included(self):
+        base = QuantumCircuit(1)
+        base.add_trainable("ry", 0, 0)
+        base.bind([0.1])
+        assert base.fingerprint() != base.shifted(0, np.pi / 2).fingerprint()
+
+    def test_copy_preserves_fingerprint(self):
+        circuit = ry_circuit(1.2)
+        assert circuit.copy().fingerprint() == circuit.fingerprint()
+
+    def test_same_structure_different_values_share_signature_not_print(self):
+        a, b = ry_circuit(0.1), ry_circuit(0.9)
+        assert a.structure_signature() == b.structure_signature()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_module_function_matches_method(self):
+        circuit = ghz_circuit()
+        assert circuit_fingerprint(circuit) == circuit.fingerprint()
+
+
+class TestJobQueue:
+    def test_priority_order(self):
+        queue = JobQueue()
+        queue.put("bulk", priority=5)
+        queue.put("interactive", priority=0)
+        queue.put("batch", priority=2)
+        assert queue.get() == "interactive"
+        assert queue.get() == "batch"
+        assert queue.get() == "bulk"
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        for label in "abc":
+            queue.put(label, priority=1)
+        assert [queue.get() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_get_timeout_returns_none(self):
+        assert JobQueue().get(timeout=0.01) is None
+
+    def test_backpressure_blocks_then_raises(self):
+        queue = JobQueue(maxsize=1)
+        queue.put("x")
+        with pytest.raises(QueueFull):
+            queue.put("y", timeout=0.01)
+        assert queue.stats()["put_waits"] == 1
+
+    def test_backpressure_releases_when_drained(self):
+        queue = JobQueue(maxsize=1)
+        queue.put("x")
+        done = threading.Event()
+
+        def producer():
+            queue.put("y", timeout=5)
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert queue.get(timeout=1) == "x"
+        assert done.wait(timeout=1)
+        thread.join()
+        assert queue.get(timeout=1) == "y"
+
+    def test_close_rejects_new_work_and_wakes_consumers(self):
+        queue = JobQueue()
+        queue.put("last")
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.put("rejected")
+        assert queue.get() == "last"  # already-queued work still drains
+        assert queue.get() is None  # then the closed signal
+
+    def test_depth_telemetry(self):
+        queue = JobQueue()
+        for i in range(4):
+            queue.put(i)
+        queue.get()
+        stats = queue.stats()
+        assert stats["max_depth"] == 4
+        assert stats["depth"] == 3
+        assert stats["puts"] == 4
+        assert stats["gets"] == 1
+
+
+def _result(value: float) -> ExecutionResult:
+    return ExecutionResult(
+        counts={}, expectations=np.array([value]), shots=0
+    )
+
+
+class TestResultCache:
+    def test_hit_and_miss_telemetry(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", _result(1.0))
+        hit = cache.get("a")
+        assert hit is not None and hit.expectations[0] == 1.0
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate() == 0.5
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result(1.0))
+        cache.put("b", _result(2.0))
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", _result(3.0))
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.evictions == 1
+
+    def test_hits_are_defensive_copies(self):
+        cache = ResultCache()
+        cache.put("a", _result(1.0))
+        cache.get("a").expectations[0] = 99.0
+        assert cache.get("a").expectations[0] == 1.0
+
+    def test_stored_entry_detached_from_caller(self):
+        cache = ResultCache()
+        result = _result(1.0)
+        cache.put("a", result)
+        result.expectations[0] = 99.0
+        assert cache.get("a").expectations[0] == 1.0
+
+
+class TestRouter:
+    def test_round_robin_cycles(self):
+        backends = [IdealBackend(exact=True) for _ in range(3)]
+        router = Router(backends, policy="round_robin")
+        for i in range(6):
+            _, backend, _ = router.execute([ghz_circuit()], 1024, "run")
+            assert backend is backends[i % 3]
+
+    def test_least_outstanding_prefers_idle(self):
+        backends = [IdealBackend(exact=True) for _ in range(2)]
+        router = Router(backends, policy="least_outstanding")
+        with router._lock:
+            router._outstanding[0] = 5
+        _, backend, _ = router.execute([ghz_circuit()], 1024, "run")
+        assert backend is backends[1]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            Router([IdealBackend()], policy="random")
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Router([])
+
+    def test_execute_reports_flush_window_meter_diff(self):
+        router = Router([IdealBackend(exact=False, seed=0)])
+        router.execute([ghz_circuit()] * 2, 64, "forward")
+        _, _, window = router.execute([ghz_circuit()] * 3, 32, "gradient")
+        assert window == {
+            "circuits": 3,
+            "shots": 96,
+            "by_purpose": {"gradient": 3},
+            "shots_by_purpose": {"gradient": 96},
+        }
+
+    def test_meter_totals_roll_up(self):
+        backends = [IdealBackend(exact=False, seed=s) for s in (0, 1)]
+        router = Router(backends)
+        router.execute([ghz_circuit()], 10, "a")
+        router.execute([ghz_circuit()], 20, "b")
+        totals = router.meter_totals()
+        assert totals["circuits"] == 2
+        assert totals["shots"] == 30
+        assert totals["shots_by_purpose"] == {"a": 10, "b": 20}
+
+    def test_deterministic_only_when_all_backends_are(self):
+        assert Router([IdealBackend(exact=True)]).results_deterministic()
+        assert not Router(
+            [IdealBackend(exact=True), IdealBackend(exact=False)]
+        ).results_deterministic()
+
+
+class TestExecutionService:
+    def test_submit_returns_future_resolving_to_backend_results(self):
+        direct = IdealBackend(exact=True)
+        circuits = [ry_circuit(0.1 * i) for i in range(5)]
+        expected = direct.run(circuits)
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            job = service.submit(circuits)
+            results = job.result(timeout=10)
+        assert job.status is JobStatus.DONE
+        for got, want in zip(results, expected):
+            assert np.array_equal(got.expectations, want.expectations)
+
+    def test_mixed_structures_reassembled_in_submission_order(self):
+        direct = IdealBackend(exact=True)
+        circuits = [
+            ry_circuit(0.1), ghz_circuit(2), ry_circuit(0.7), ghz_circuit(2)
+        ]
+        expected = direct.run(circuits)
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            results = service.run(circuits)
+        for got, want in zip(results, expected):
+            assert np.array_equal(got.expectations, want.expectations)
+
+    def test_validation_fails_synchronously(self):
+        bad = QuantumCircuit(1, num_parameters=1)  # unused parameter
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            with pytest.raises(JobError, match="never used"):
+                service.submit([bad])
+
+    def test_zero_shots_rejected(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            with pytest.raises(ValueError, match="shots"):
+                service.submit([ghz_circuit()], shots=0)
+
+    def test_empty_submission_completes_immediately(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            job = service.submit([])
+            assert job.result(timeout=1) == []
+            assert job.status is JobStatus.DONE
+
+    def test_cache_serves_repeat_submissions_without_execution(self):
+        backend = IdealBackend(exact=True)
+        with ExecutionService(backend) as service:
+            circuits = [ry_circuit(0.2), ry_circuit(0.4)]
+            first = service.run(circuits)
+            executed = backend.meter.circuits
+            second = service.run([c.copy() for c in circuits])
+            assert backend.meter.circuits == executed  # no new runs
+            stats = service.stats()
+        assert stats["cache"]["hits"] == 2
+        assert stats["circuits_from_cache"] == 2
+        for a, b in zip(first, second):
+            assert np.array_equal(a.expectations, b.expectations)
+
+    def test_cache_disabled_for_stochastic_backends(self):
+        sampled = IdealBackend(exact=False, seed=0)
+        with ExecutionService(sampled) as service:
+            assert service.cache is None
+            service.run([ghz_circuit()], shots=32)
+            assert service.stats()["cache"] is None
+
+    def test_cache_disabled_for_noisy_backend(self):
+        noisy = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
+        service = ExecutionService(noisy)
+        assert service.cache is None
+        service.stop()
+
+    def test_sampled_execution_still_works_uncached(self):
+        sampled = IdealBackend(exact=False, seed=0)
+        with ExecutionService(sampled) as service:
+            results = service.run([ghz_circuit()] * 3, shots=50)
+        assert all(r.shots == 50 for r in results)
+        assert sampled.meter.shots == 150
+
+    def test_job_lifecycle_reuses_hardware_states(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            job = service.submit([ghz_circuit()])
+            job.result(timeout=10)
+            assert job.status is JobStatus.DONE
+        # The states are literally the hardware Job lifecycle enum.
+        assert job.status is JobStatus.DONE
+
+    def test_job_ids_are_sequential_per_service(self):
+        with ExecutionService(IdealBackend(exact=True), name="svc") as s:
+            a = s.submit([ghz_circuit()])
+            b = s.submit([ghz_circuit()])
+        assert a.job_id == "svc-000001"
+        assert b.job_id == "svc-000002"
+
+    def test_submit_after_stop_raises(self):
+        service = ExecutionService(IdealBackend(exact=True))
+        service.start()
+        service.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            service.submit([ghz_circuit()])
+
+    def test_stop_drains_pending_work(self):
+        service = ExecutionService(
+            IdealBackend(exact=True),
+            max_batch_size=10_000,
+            max_delay_s=60.0,  # deadline never fires on its own
+        )
+        job = service.submit([ghz_circuit()])
+        service.stop()  # must flush the parked bucket
+        assert job.result(timeout=1)[0].expectations.shape == (3,)
+
+    def test_backpressure_surfaces_as_queue_full(self):
+        """The pending bound covers the whole pipeline, not just intake."""
+        service = ExecutionService(
+            SlowBackend(delay_s=0.3),
+            queue_capacity=1,
+            enable_cache=False,
+            max_batch_size=1,
+            max_delay_s=0.0,
+        )
+        service.start()
+        try:
+            slow = service.submit([ghz_circuit()])  # occupies the pipeline
+            with pytest.raises(QueueFull):
+                service.submit([ghz_circuit()], timeout=0.01)
+            assert len(slow.result(timeout=10)) == 1
+        finally:
+            service.stop()
+
+    def test_service_survives_backpressure_rejection(self):
+        service = ExecutionService(
+            SlowBackend(delay_s=0.3),
+            queue_capacity=1,
+            enable_cache=False,
+            max_batch_size=1,
+            max_delay_s=0.0,
+        )
+        service.start()
+        try:
+            slow = service.submit([ghz_circuit()])
+            with pytest.raises(QueueFull):
+                service.submit([ry_circuit(0.5)], timeout=0.01)
+            # A later submission succeeds once the pipeline drains.
+            retry = service.submit([ghz_circuit()], timeout=10)
+            assert len(retry.result(timeout=10)) == 1
+            assert len(slow.result(timeout=10)) == 1
+        finally:
+            service.stop()
+
+    def test_backend_failure_propagates_to_future(self):
+        class ExplodingBackend(IdealBackend):
+            def _execute(self, circuit, shots):
+                raise RuntimeError("device offline")
+
+            def _execute_batch(self, circuits, shots):
+                raise RuntimeError("device offline")
+
+        service = ExecutionService(
+            ExplodingBackend(exact=True), enable_cache=False
+        )
+        try:
+            job = service.submit([ghz_circuit()])
+            with pytest.raises(JobError, match="device offline"):
+                job.result(timeout=10)
+            assert job.status is JobStatus.ERROR
+            assert service.pending_circuits == 0  # reservation released
+        finally:
+            service.stop()
+
+    def test_rebind_after_submit_does_not_corrupt_result_or_cache(self):
+        """Submitted work is detached from the caller's mutable circuit."""
+        base = QuantumCircuit(1)
+        base.add_trainable("ry", 0, 0)
+        circuit = base.bound([0.4])
+        with ExecutionService(
+            IdealBackend(exact=True),
+            max_batch_size=10_000,
+            max_delay_s=0.1,  # flush well after the rebind below
+        ) as service:
+            job = service.submit([circuit])
+            circuit.bind([2.0])  # client pipelines its next step
+            got = job.result(timeout=10)[0].expectations[0]
+            assert np.isclose(got, np.cos(0.4))
+            # And the cache holds the value the fingerprint promises.
+            cached = service.run([base.bound([0.4])])[0].expectations[0]
+            assert np.isclose(cached, np.cos(0.4))
+            assert service.cache.hits == 1
+
+    def test_oversized_submission_admitted_when_idle(self):
+        with ExecutionService(
+            IdealBackend(exact=True), queue_capacity=2
+        ) as service:
+            results = service.run([ry_circuit(0.1 * i) for i in range(8)])
+        assert len(results) == 8
+
+    def test_service_level_stats_shape(self):
+        with ExecutionService(
+            [IdealBackend(exact=True), IdealBackend(exact=True)],
+            policy="least_outstanding",
+        ) as service:
+            service.run([ry_circuit(0.1 * i) for i in range(6)])
+            stats = service.stats()
+        assert stats["submissions"] == 1
+        assert stats["circuits_submitted"] == 6
+        assert stats["scheduler"]["circuits_dispatched"] == 6
+        assert stats["scheduler"]["flushes"] >= 1
+        assert stats["scheduler"]["last_flush"]["meter"]["circuits"] > 0
+        assert len(stats["router"]["backends"]) == 2
+        assert stats["queue"]["puts"] == 6
+
+
+class TestCrossClientCoalescing:
+    """Satellite: N threads through the service == sequential direct runs."""
+
+    N_CLIENTS = 6
+    PER_CLIENT = 8
+
+    def _client_workloads(self):
+        rng = np.random.default_rng(42)
+        workloads = []
+        for _ in range(self.N_CLIENTS):
+            circuits = []
+            for k in range(self.PER_CLIENT):
+                if k % 2:
+                    circuits.append(ghz_circuit(2))
+                else:
+                    circuits.append(ry_circuit(float(rng.uniform(0, np.pi))))
+            workloads.append(circuits)
+        return workloads
+
+    def test_threaded_service_results_bit_identical_to_direct(self):
+        workloads = self._client_workloads()
+
+        direct_backend = IdealBackend(exact=True)
+        direct_results = [
+            direct_backend.run(circuits, shots=128, purpose="serve")
+            for circuits in workloads
+        ]
+
+        service_backend = IdealBackend(exact=True)
+        service_results = [None] * self.N_CLIENTS
+        errors = []
+        with ExecutionService(
+            service_backend,
+            enable_cache=False,  # meters must match the direct path exactly
+            max_batch_size=16,
+            max_delay_s=0.01,
+        ) as service:
+            def client(index):
+                try:
+                    service_results[index] = service.run(
+                        workloads[index], shots=128, purpose="serve"
+                    )
+                except Exception as exc:  # surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(self.N_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            scheduler_stats = service.scheduler.stats()
+
+        assert not errors
+        for want_list, got_list in zip(direct_results, service_results):
+            for want, got in zip(want_list, got_list):
+                assert np.array_equal(want.expectations, got.expectations)
+                assert want.counts == got.counts
+                assert want.shots == got.shots
+
+        # Identical meter totals: same circuits, same purposes, same shots.
+        assert (
+            service_backend.meter.snapshot()
+            == direct_backend.meter.snapshot()
+        )
+        # And the traffic actually coalesced across clients: at least one
+        # executed batch bundled more circuits than any single client's
+        # largest same-structure group.
+        per_client_group_max = self.PER_CLIENT - self.PER_CLIENT // 2
+        assert scheduler_stats["largest_batch"] > per_client_group_max
+
+    def test_coalesced_exact_jacobians_match_direct(self):
+        """The gradient engines ride the service path unchanged."""
+        from repro.gradients.parameter_shift import (
+            parameter_shift_jacobian_batch,
+        )
+
+        base = QuantumCircuit(2)
+        base.add("h", 0)
+        base.add_trainable("ry", 0, 0)
+        base.add_trainable("rz", 1, 1)
+        base.add("cx", (0, 1))
+        circuits = [base.bound([0.3 * i, 0.1 + i]) for i in range(3)]
+
+        direct = parameter_shift_jacobian_batch(
+            circuits, IdealBackend(exact=True)
+        )
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            served = parameter_shift_jacobian_batch(
+                circuits, service.executor()
+            )
+        for a, b in zip(direct, served):
+            assert np.array_equal(a, b)
+
+
+class TestServiceExecutor:
+    def test_executor_meters_client_side_traffic(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            executor = service.executor()
+            executor.run([ghz_circuit()] * 3, purpose="forward")
+            executor.run([ghz_circuit()], purpose="gradient")
+            assert executor.meter.circuits == 4
+            assert executor.meter.by_purpose == {"forward": 3, "gradient": 1}
+
+    def test_executor_meter_counts_cache_served_circuits(self):
+        backend = IdealBackend(exact=True)
+        with ExecutionService(backend) as service:
+            executor = service.executor()
+            executor.run([ghz_circuit()])
+            executor.run([ghz_circuit()])  # cache-served
+            assert executor.meter.circuits == 2  # client-side view
+            assert backend.meter.circuits == 1  # physical view
+
+    def test_expectations_shape_matches_backend(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            stacked = service.executor().expectations(
+                [ghz_circuit(), ghz_circuit()]
+            )
+        assert stacked.shape == (2, 3)
+
+    def test_training_engine_service_path_matches_direct(self):
+        from repro.training import TrainingConfig, TrainingEngine
+
+        config = TrainingConfig(
+            task="mnist2",
+            steps=2,
+            batch_size=3,
+            gradient_engine="parameter_shift",
+            eval_every=0,
+            eval_size=8,
+            seed=11,
+        )
+        direct = TrainingEngine(config, IdealBackend(exact=True, seed=0))
+        direct_history = direct.train()
+
+        with ExecutionService(IdealBackend(exact=True, seed=0)) as service:
+            served = TrainingEngine(config, service=service)
+            served_history = served.train()
+
+        assert np.array_equal(direct.theta, served.theta)
+        assert [r.loss for r in direct_history.steps] == [
+            r.loss for r in served_history.steps
+        ]
+        assert (
+            direct.training_inferences() == served.training_inferences()
+        )
+
+    def test_training_engine_requires_backend_or_service(self):
+        from repro.training import TrainingConfig, TrainingEngine
+
+        with pytest.raises(ValueError, match="train_backend or a service"):
+            TrainingEngine(TrainingConfig(task="mnist2", steps=1))
