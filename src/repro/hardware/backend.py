@@ -18,14 +18,18 @@ tensors, a vendor batch API, ...) overrides :meth:`Backend._execute_batch`.
 groups via :meth:`QuantumCircuit.structure_signature` and hands every
 group to ``_execute_batch`` in one call — the parameter-shift gradient
 engine's thousands of shifted clones arrive as a handful of stacked
-evolutions instead of a Python loop.  Backends that don't override it
-(e.g. the density-matrix :class:`~repro.hardware.noisy_backend.
-NoisyBackend`) keep the exact sequential per-circuit behaviour, RNG
-stream included.
+evolutions instead of a Python loop.
 
-``IdealBackend`` is the noise-free simulator (with optional shot sampling)
-and implements the vectorized batch path; the noisy device emulator lives
-in :mod:`repro.hardware.noisy_backend`.
+Both simulator backends vectorize: ``IdealBackend`` stacks pure states
+into a :class:`~repro.sim.batched.BatchedStatevector`, and the noisy
+device emulator (:class:`~repro.hardware.noisy_backend.NoisyBackend`)
+stacks mixed states into a :class:`~repro.sim.batched_density.
+BatchedDensityMatrix` — one batched contraction per gate *and per noise
+channel*, plus batch-wide readout.  Exact distributions are
+bit-identical to the sequential path on both; sampled counts consume
+the seeded RNG stream per circuit in group order (identical to
+sequential execution for single-structure submissions).  Either backend
+accepts ``batched=False`` to force the sequential per-circuit loop.
 """
 
 from __future__ import annotations
@@ -119,26 +123,37 @@ class CircuitRunMeter:
         diff as that flush's cost.  Purposes whose delta is zero are
         omitted from the breakdowns.
 
+        Contract: every delta is **non-negative**.  Counters only grow
+        between snapshots, but a :meth:`reset` inside the window makes
+        the current counters smaller than the snapshot; rather than
+        reporting negative usage (which confused downstream telemetry),
+        each field — the totals and each purpose entry — is
+        *independently* clamped at zero.  A mid-window reset therefore
+        makes the window undercount (post-reset usage is absorbed by
+        the clamp until a counter regrows past its snapshot value, and
+        totals may disagree with the purpose breakdowns); callers that
+        need exact windows must not reset the meter mid-window.
+
         Args:
             since: A dict previously returned by :meth:`snapshot`.
 
         Returns:
-            A snapshot-shaped dict of ``current - since``.
+            A snapshot-shaped dict of ``max(0, current - since)``.
         """
         current = self.snapshot()
         by_purpose = {
             purpose: count - since["by_purpose"].get(purpose, 0)
             for purpose, count in current["by_purpose"].items()
-            if count - since["by_purpose"].get(purpose, 0)
+            if count - since["by_purpose"].get(purpose, 0) > 0
         }
         shots_by_purpose = {
             purpose: count - since["shots_by_purpose"].get(purpose, 0)
             for purpose, count in current["shots_by_purpose"].items()
-            if count - since["shots_by_purpose"].get(purpose, 0)
+            if count - since["shots_by_purpose"].get(purpose, 0) > 0
         }
         return {
-            "circuits": current["circuits"] - since["circuits"],
-            "shots": current["shots"] - since["shots"],
+            "circuits": max(0, current["circuits"] - since["circuits"]),
+            "shots": max(0, current["shots"] - since["shots"]),
             "by_purpose": by_purpose,
             "shots_by_purpose": shots_by_purpose,
         }
@@ -207,6 +222,18 @@ class Backend(abc.ABC):
         """
         return False
 
+    def exact_execution(self) -> bool:
+        """Whether execution ignores ``shots`` and returns exact values.
+
+        True when :meth:`_execute` computes exact expectations and never
+        draws samples (results report ``shots=0`` regardless of the
+        requested count).  :meth:`run` uses this to accept ``shots=0``
+        submissions — rejecting them on an exact backend contradicted
+        the backend's own accounting.  Default False; exact backends
+        (e.g. :class:`IdealBackend` with ``exact=True``) override.
+        """
+        return False
+
     def run(
         self,
         circuits: Sequence,
@@ -230,9 +257,18 @@ class Backend(abc.ABC):
                 upstream (the serving layer validates at submit time),
                 so the hot path does not pay the structural checks
                 twice.
+
+        ``shots=0`` is accepted exactly when the backend's execution is
+        exact (:meth:`exact_execution`) — such backends ignore the shot
+        count and report ``shots=0`` results anyway, so rejecting an
+        explicit 0 was a contradiction.  Sampling backends still reject
+        any ``shots < 1``.
         """
-        if shots < 1:
-            raise ValueError("shots must be positive")
+        if shots < 0 or (shots == 0 and not self.exact_execution()):
+            raise ValueError(
+                "shots must be positive (shots=0 is allowed only on "
+                "backends whose execution is exact)"
+            )
         circuits = list(circuits)
         if validate:
             for circuit in circuits:
@@ -313,6 +349,9 @@ class IdealBackend(Backend):
         return self.batched
 
     def results_deterministic(self) -> bool:
+        return self.exact
+
+    def exact_execution(self) -> bool:
         return self.exact
 
     def _execute(self, circuit, shots: int) -> ExecutionResult:

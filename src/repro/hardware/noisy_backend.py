@@ -20,17 +20,35 @@ Two fidelity levels:
 * ``transpile=True``: circuits are routed onto the device coupling map and
   decomposed to the native basis first, and noise is applied per physical
   gate — slower, used by the realism tests and examples.
+
+Batched execution
+-----------------
+Same-structure submissions (every parameter-shift clone, every
+re-encoded mini-batch row) take the vectorized path: one stacked
+:class:`~repro.sim.batched_density.BatchedDensityMatrix` evolution per
+group — one batched unitary conjugation per gate, one batched channel
+application per noise term — followed by batch-wide readout-confusion
+application, layout marginalization, and a single vectorized multinomial
+draw.  Per-row *observed* probability distributions are bit-identical to
+the sequential path; sampled counts consume the seeded RNG stream row by
+row in group order (the contract :meth:`~repro.sim.batched.
+BatchedStatevector.sample_counts` documents), so single-structure
+submissions reproduce the sequential stream exactly.  In transpiled
+mode, circuits are additionally grouped by their *post-transpile*
+structure and layout before stacking.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.circuits.batch import CircuitBatch
 from repro.circuits.transpile import transpile as _transpile
 from repro.hardware.backend import Backend, ExecutionResult
 from repro.noise.calibration import DeviceCalibration, get_calibration
 from repro.noise.model import NoiseModel
 from repro.sim import measurement as _measurement
+from repro.sim.batched_density import BatchedDensityMatrix
 from repro.sim.density import DensityMatrix
 
 
@@ -43,6 +61,8 @@ class NoisyBackend(Backend):
         transpile: Route + decompose onto the physical device first.
         noise_scale: Global noise multiplier (0 = noise-free device).
         include_coherent: Include the systematic over-rotation term.
+        batched: Disable to force the sequential per-circuit loop
+            (benchmark baseline and equivalence testing).
     """
 
     def __init__(
@@ -52,11 +72,13 @@ class NoisyBackend(Backend):
         transpile: bool = False,
         noise_scale: float = 1.0,
         include_coherent: bool = True,
+        batched: bool = True,
     ):
         super().__init__(seed=seed)
         self.calibration = calibration
         self.name = calibration.name
         self.transpile = bool(transpile)
+        self.batched = bool(batched)
         self.noise_model = NoiseModel(
             calibration,
             level="physical" if transpile else "logical",
@@ -68,6 +90,9 @@ class NoisyBackend(Backend):
     def from_device_name(cls, name: str, **kwargs) -> "NoisyBackend":
         """Build a backend from a device name like ``"ibmq_santiago"``."""
         return cls(get_calibration(name), **kwargs)
+
+    def supports_batching(self) -> bool:
+        return self.batched
 
     # -- execution --------------------------------------------------------
 
@@ -82,6 +107,20 @@ class NoisyBackend(Backend):
         )
         return result.circuit, result.final_layout
 
+    def _observed_from_physical(self, rho_probs, physical_qubits, layout,
+                                logical_qubits):
+        """Readout post-processing of one exact distribution (sequential)."""
+        confusions = self.noise_model.readout_confusions(physical_qubits)
+        probs = _measurement.apply_readout_error(rho_probs, confusions)
+        marginal = _layout_to_marginalize(
+            physical_qubits, layout, logical_qubits
+        )
+        if marginal is not None:
+            probs = _marginalize_layout(
+                probs, physical_qubits, marginal, logical_qubits
+            )
+        return probs
+
     def observed_probabilities(self, circuit) -> np.ndarray:
         """Exact *observed* outcome distribution (noise + readout error).
 
@@ -91,21 +130,62 @@ class NoisyBackend(Backend):
         physical, layout = self._prepare(circuit)
         rho = DensityMatrix(physical.n_qubits)
         rho.evolve(physical, noise_model=self.noise_model)
-        probs = rho.probabilities()
-        confusions = self.noise_model.readout_confusions(physical.n_qubits)
-        probs = _measurement.apply_readout_error(probs, confusions)
-        if layout != tuple(range(circuit.n_qubits)):
-            probs = _marginalize_layout(
-                probs, physical.n_qubits, layout, circuit.n_qubits
+        return self._observed_from_physical(
+            rho.probabilities(), physical.n_qubits, layout, circuit.n_qubits
+        )
+
+    def observed_probabilities_batch(self, circuits) -> np.ndarray:
+        """Stacked observed distributions for same-structure circuits.
+
+        Row ``i`` is bit-identical to ``observed_probabilities(
+        circuits[i])``.  Circuits are grouped by *post-transpile*
+        structure signature and layout (routing is deterministic, so
+        one logical structure normally yields one group — but the
+        batched evolution contract requires identical physical template
+        sequences, so this groups rather than assumes) and each group
+        is evolved as one :class:`BatchedDensityMatrix`, with readout
+        confusion and layout marginalization applied batch-wide.
+
+        Args:
+            circuits: Non-empty sequence sharing one logical
+                :meth:`~repro.circuits.QuantumCircuit.
+                structure_signature`.
+
+        Returns:
+            ``(len(circuits), 2^n_logical)`` observed distributions, in
+            submission order.
+        """
+        circuits = list(circuits)
+        if not circuits:
+            raise ValueError("need at least one circuit")
+        logical_qubits = circuits[0].n_qubits
+        prepared = [self._prepare(circuit) for circuit in circuits]
+        groups: dict[tuple, list[int]] = {}
+        for index, (physical, layout) in enumerate(prepared):
+            key = (physical.structure_signature(), layout)
+            groups.setdefault(key, []).append(index)
+        rows = np.empty(
+            (len(circuits), 2**logical_qubits), dtype=np.float64
+        )
+        for indices in groups.values():
+            physicals = [prepared[i][0] for i in indices]
+            layout = prepared[indices[0]][1]
+            batch = CircuitBatch(physicals)
+            rho = BatchedDensityMatrix(batch.n_qubits, batch.size)
+            rho.evolve(batch, noise_model=self.noise_model)
+            confusions = self.noise_model.readout_confusions(batch.n_qubits)
+            probs = _measurement.apply_readout_error_batch(
+                rho.probabilities(), confusions
             )
-        elif physical.n_qubits != circuit.n_qubits:
-            probs = _marginalize_layout(
-                probs,
-                physical.n_qubits,
-                tuple(range(circuit.n_qubits)),
-                circuit.n_qubits,
+            marginal = _layout_to_marginalize(
+                batch.n_qubits, layout, logical_qubits
             )
-        return probs
+            if marginal is not None:
+                probs = _marginalize_layout_batch(
+                    probs, batch.n_qubits, marginal, logical_qubits
+                )
+            rows[indices] = probs
+        return rows
 
     def _execute(self, circuit, shots: int) -> ExecutionResult:
         probs = self.observed_probabilities(circuit)
@@ -119,6 +199,31 @@ class NoisyBackend(Backend):
             counts=counts, expectations=expectations, shots=shots
         )
 
+    def _execute_batch(self, circuits, shots: int) -> list[ExecutionResult]:
+        """Vectorized noisy execution of one same-structure group.
+
+        One batched density evolution, then a single vectorized
+        multinomial draw over the stacked observed distributions — the
+        RNG stream is consumed row by row in group order, so a
+        single-structure submission samples bit-identically to the
+        sequential loop.
+        """
+        probs = self.observed_probabilities_batch(circuits)
+        counts_list = _measurement.sample_counts_batch(
+            probs, shots, self._rng
+        )
+        n_qubits = circuits[0].n_qubits
+        return [
+            ExecutionResult(
+                counts=counts,
+                expectations=_measurement.expectation_z_from_counts(
+                    counts, n_qubits
+                ),
+                shots=shots,
+            )
+            for counts in counts_list
+        ]
+
     def exact_expectations(self, circuit) -> np.ndarray:
         """Noisy-but-shot-free expectations (infinite-shot limit)."""
         probs = self.observed_probabilities(circuit)
@@ -129,6 +234,24 @@ class NoisyBackend(Backend):
             f"NoisyBackend({self.name}, transpile={self.transpile}, "
             f"scale={self.noise_model.scale})"
         )
+
+
+def _layout_to_marginalize(
+    physical_qubits: int,
+    layout: tuple[int, ...],
+    logical_qubits: int,
+) -> tuple[int, ...] | None:
+    """The layout to trace the physical distribution down with, if any.
+
+    ``None`` when the distribution already is the logical one (identity
+    layout on an unpadded register); an identity layout over a *padded*
+    register still needs the ancilla wires traced out.
+    """
+    if layout != tuple(range(logical_qubits)):
+        return layout
+    if physical_qubits != logical_qubits:
+        return tuple(range(logical_qubits))
+    return None
 
 
 def _marginalize_layout(
@@ -157,3 +280,31 @@ def _marginalize_layout(
     if perm != list(range(len(keep))):
         tensor = np.transpose(tensor, axes=perm)
     return tensor.reshape(-1)
+
+
+def _marginalize_layout_batch(
+    probs: np.ndarray,
+    physical_qubits: int,
+    layout: tuple[int, ...],
+    logical_qubits: int,
+) -> np.ndarray:
+    """Batched :func:`_marginalize_layout` over a ``(B, 2^p)`` stack.
+
+    Same trace-out and axis permutation with every axis offset past the
+    batch dimension; each row reduces element-for-element like the
+    single-distribution version.
+    """
+    batch = probs.shape[0]
+    tensor = probs.reshape((batch,) + (2,) * physical_qubits)
+    keep = list(layout[:logical_qubits])
+    drop = [q for q in range(physical_qubits) if q not in keep]
+    if drop:
+        tensor = tensor.sum(axis=tuple(q + 1 for q in drop))
+    remaining_positions = {
+        physical: position
+        for position, physical in enumerate(sorted(keep))
+    }
+    perm = [remaining_positions[physical] + 1 for physical in keep]
+    if perm != list(range(1, len(keep) + 1)):
+        tensor = np.transpose(tensor, axes=[0] + perm)
+    return tensor.reshape(batch, -1)

@@ -135,6 +135,13 @@ class NoiseModel:
         Errors are applied independently per touched qubit, which is the
         standard approximation for superconducting devices (crosstalk is
         folded into the CX error rate).
+
+        ``op`` may be a resolved :class:`~repro.circuits.operation.
+        BoundOp` or a bare :class:`~repro.circuits.operation.OpTemplate`
+        — channels depend only on the gate name and wire count, never on
+        angle values, which is what lets the batched density engine
+        build one channel stack and apply it to a whole
+        :class:`~repro.sim.batched_density.BatchedDensityMatrix`.
         """
         if self.scale == 0.0:
             return
@@ -146,10 +153,13 @@ class NoiseModel:
     def superop_for(self, op) -> np.ndarray | None:
         """Composed 4x4 channel matrix applied per touched qubit of ``op``.
 
-        Fast path for the density simulator: the whole per-qubit channel
+        Fast path for the density simulators: the whole per-qubit channel
         stack (depolarizing + thermal relaxation + coherent bias) collapses
         into a single superoperator.  Returns ``None`` when the model is
-        noise-free (``scale == 0``).
+        noise-free (``scale == 0``).  Like :meth:`channels_for`, accepts
+        a ``BoundOp`` or an ``OpTemplate``; the returned (cached) matrix
+        is angle-independent and therefore shared across every circuit
+        of a batched evolution.
         """
         if self.scale == 0.0:
             return None

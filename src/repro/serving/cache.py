@@ -81,10 +81,19 @@ class ResultCache:
         with self._lock:
             return key in self._entries
 
-    def hit_rate(self) -> float:
-        """Hits over total lookups (0.0 before any lookup)."""
+    def _hit_rate_locked(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup).
+
+        Computed under the lock so concurrent lookups can never yield a
+        torn ratio (e.g. a fresh ``hits`` over a stale total reading as
+        ``hit_rate > 1``).
+        """
+        with self._lock:
+            return self._hit_rate_locked()
 
     def clear(self) -> None:
         """Drop all entries; telemetry counters are kept."""
@@ -92,14 +101,19 @@ class ResultCache:
             self._entries.clear()
 
     def stats(self) -> dict:
-        """Telemetry snapshot."""
+        """Telemetry snapshot.
+
+        All fields come from one locked read, so the dict is internally
+        consistent (``hit_rate`` always equals ``hits / (hits +
+        misses)`` over the same counter values) even while lookups are
+        in flight on other threads.
+        """
         with self._lock:
-            size = len(self._entries)
-        return {
-            "size": size,
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate(),
-        }
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self._hit_rate_locked(),
+            }

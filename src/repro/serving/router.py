@@ -58,6 +58,16 @@ class Router:
         """True when every backend in the pool is deterministic."""
         return all(b.results_deterministic() for b in self.backends)
 
+    def exact_execution(self) -> bool:
+        """True when every backend in the pool executes exactly.
+
+        The pool-level form of :meth:`repro.hardware.Backend.
+        exact_execution`: a flush could land on any backend, so
+        ``shots=0`` submissions are legal only when all of them ignore
+        the shot count.
+        """
+        return all(b.exact_execution() for b in self.backends)
+
     def _select(self) -> int:
         if self.policy == "round_robin":
             index = self._next

@@ -27,6 +27,7 @@ backend never stalls coalescing for the others.
 
 from __future__ import annotations
 
+import _thread
 import dataclasses
 import threading
 import time
@@ -70,6 +71,21 @@ class _Bucket:
     def __init__(self, deadline: float):
         self.items: list[WorkItem] = []
         self.deadline = deadline
+
+
+def _surface_interrupt(future) -> None:
+    """Deliver a dispatch worker's process-level interrupt to the user.
+
+    ``_run_batch`` re-raises non-``Exception`` exceptions after failing
+    the affected jobs, but the pool stores them on a Future nobody
+    reads.  This done-callback forwards them to the main thread as a
+    ``KeyboardInterrupt`` (the standard "stop the process" signal), so
+    a Ctrl-C or ``SystemExit`` raised mid-flush cannot die silently in
+    a worker.
+    """
+    exc = future.exception()
+    if exc is not None and not isinstance(exc, Exception):
+        _thread.interrupt_main()
 
 
 class CoalescingScheduler:
@@ -209,7 +225,10 @@ class CoalescingScheduler:
         for item in bucket.items:
             item.job._mark_running()
         assert self._pool is not None
-        self._pool.submit(self._run_batch, bucket.items, reason)
+        future = self._pool.submit(self._run_batch, bucket.items, reason)
+        # The future is otherwise discarded, which would swallow a
+        # re-raised KeyboardInterrupt/SystemExit from the worker.
+        future.add_done_callback(_surface_interrupt)
 
     def _run_batch(self, items: list[WorkItem], reason: str) -> None:
         circuits = [item.circuit for item in items]
@@ -226,6 +245,11 @@ class CoalescingScheduler:
                 item.job._fail(exc)
                 if item.release is not None:
                     item.release()
+            if not isinstance(exc, Exception):
+                # KeyboardInterrupt / SystemExit must not be swallowed
+                # by a dispatch worker: the waiting jobs were failed
+                # above, now let the exception surface to the pool.
+                raise
             return
         with self._stats_lock:
             self.last_flush = {

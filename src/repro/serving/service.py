@@ -307,8 +307,13 @@ class ExecutionService:
             JobError: A circuit failed validation (synchronously, like
                 :meth:`repro.hardware.Job.validate`).
         """
-        if shots < 1:
-            raise ValueError("shots must be positive")
+        # Mirror Backend.run's shots rule: 0 is legal exactly when every
+        # routed backend ignores the shot count (exact execution).
+        if shots < 0 or (shots == 0 and not self.router.exact_execution()):
+            raise ValueError(
+                "shots must be positive (shots=0 is allowed only when "
+                "every routed backend's execution is exact)"
+            )
         self.start()
         job = ServiceJob(
             self._job_ids.next_id(), circuits, shots, purpose, priority

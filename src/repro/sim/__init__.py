@@ -3,12 +3,18 @@
 from repro.sim.adjoint import adjoint_expectation_and_jacobian, adjoint_jacobian
 from repro.sim.apply import (
     apply_kraus_to_density,
+    apply_kraus_to_density_batched,
     apply_matrix,
     apply_matrix_batched,
     apply_matrix_to_density,
+    apply_matrix_to_density_batched,
+    apply_superop_to_density,
+    apply_superop_to_density_batched,
     expand_matrix,
+    kraus_to_superop,
 )
 from repro.sim.batched import BatchedStatevector, run_circuit_batch
+from repro.sim.batched_density import BatchedDensityMatrix, run_density_batch
 from repro.sim.density import DensityMatrix
 from repro.sim.gates import (
     GATES,
@@ -20,6 +26,7 @@ from repro.sim.gates import (
 )
 from repro.sim.measurement import (
     apply_readout_error,
+    apply_readout_error_batch,
     counts_to_probabilities,
     expectation_z_from_counts,
     expectation_z_from_prob_matrix,
@@ -33,6 +40,7 @@ from repro.sim.statevector import Statevector, run_statevector
 __all__ = [
     "GATES",
     "SHIFT_RULE_GATES",
+    "BatchedDensityMatrix",
     "BatchedStatevector",
     "DensityMatrix",
     "GateSpec",
@@ -40,10 +48,15 @@ __all__ = [
     "adjoint_expectation_and_jacobian",
     "adjoint_jacobian",
     "apply_kraus_to_density",
+    "apply_kraus_to_density_batched",
     "apply_matrix",
     "apply_matrix_batched",
     "apply_matrix_to_density",
+    "apply_matrix_to_density_batched",
     "apply_readout_error",
+    "apply_readout_error_batch",
+    "apply_superop_to_density",
+    "apply_superop_to_density_batched",
     "counts_to_probabilities",
     "expand_matrix",
     "expectation_z_from_counts",
@@ -51,8 +64,10 @@ __all__ = [
     "expectation_z_from_probabilities",
     "fixed_gate_matrix",
     "get_gate",
+    "kraus_to_superop",
     "readout_confusion_matrix",
     "run_circuit_batch",
+    "run_density_batch",
     "run_statevector",
     "sample_counts_batch",
     "sample_from_probabilities",

@@ -55,6 +55,39 @@ def apply_matrix(
     return np.moveaxis(moved, range(k), wires)
 
 
+def _check_batched_matrices(
+    matrices: np.ndarray, k: int, batch_size: int
+) -> None:
+    if matrices.shape[-2:] != (2**k, 2**k):
+        raise ValueError(
+            f"matrix shape {matrices.shape} does not match {k} wires"
+        )
+    if matrices.ndim == 3 and matrices.shape[0] != batch_size:
+        raise ValueError(
+            f"{matrices.shape[0]} matrices for batch of {batch_size}"
+        )
+
+
+def matmul_on_axes(
+    tensor: np.ndarray, matrices: np.ndarray, axes: Sequence[int]
+) -> np.ndarray:
+    """Left-multiply stacked matrices onto the given axes of a stacked tensor.
+
+    ``tensor`` has the batch on axis 0; ``axes`` (already offset past the
+    batch axis) are brought to the front, the rest is flattened, and one
+    batched matmul applies ``matrices`` (``(B, d, d)`` or shared
+    ``(d, d)``).  Each batch slice reduces to the same GEMM a
+    ``tensordot`` over those axes performs — same operand layouts, same
+    contraction order — so the result is bit-identical to applying the
+    matrices one slice at a time.
+    """
+    k = len(axes)
+    moved = np.moveaxis(tensor, axes, range(1, k + 1))
+    shape = moved.shape
+    out = np.matmul(matrices, moved.reshape(tensor.shape[0], 2**k, -1))
+    return np.moveaxis(out.reshape(shape), range(1, k + 1), axes)
+
+
 def apply_matrix_batched(
     states: np.ndarray, matrices: np.ndarray, wires: Sequence[int]
 ) -> np.ndarray:
@@ -78,21 +111,10 @@ def apply_matrix_batched(
     n_qubits = states.ndim - 1
     wires = _check_wires(wires, n_qubits)
     k = len(wires)
-    if matrices.shape[-2:] != (2**k, 2**k):
-        raise ValueError(
-            f"matrix shape {matrices.shape} does not match {k} wires"
-        )
-    if matrices.ndim == 3 and matrices.shape[0] != states.shape[0]:
-        raise ValueError(
-            f"{matrices.shape[0]} matrices for batch of {states.shape[0]}"
-        )
+    _check_batched_matrices(matrices, k, states.shape[0])
     # Bring the target axes (offset by the batch axis) to the front,
     # flatten to (B, 2^k, rest), batched-matmul, and restore the layout.
-    targets = [w + 1 for w in wires]
-    moved = np.moveaxis(states, targets, range(1, k + 1))
-    shape = moved.shape
-    out = np.matmul(matrices, moved.reshape(states.shape[0], 2**k, -1))
-    return np.moveaxis(out.reshape(shape), range(1, k + 1), targets)
+    return matmul_on_axes(states, matrices, [w + 1 for w in wires])
 
 
 def apply_matrix_to_density(
@@ -142,6 +164,81 @@ def apply_kraus_to_density(
     for kraus in kraus_ops:
         out = out + apply_matrix_to_density(rho, kraus, wires)
     return out
+
+
+def apply_matrix_to_density_batched(
+    rhos: np.ndarray, matrices: np.ndarray, wires: Sequence[int]
+) -> np.ndarray:
+    """Apply ``U_b rho_b U_b^dagger`` across a stack of density tensors.
+
+    Args:
+        rhos: Complex tensor of shape ``(B,) + (2,) * 2n`` — ``B``
+            density tensors stacked along axis 0 (ket axes first, then
+            bra axes, as in :func:`apply_matrix_to_density`).
+        matrices: ``(B, 2^k, 2^k)`` per-circuit unitaries, or one shared
+            ``(2^k, 2^k)``.
+        wires: Target qubits.
+
+    Returns:
+        New stacked density tensor.
+
+    Both sides reduce to the GEMMs :func:`apply_matrix_to_density`
+    performs via ``tensordot`` (left-multiply on the ket axes, then
+    conj(U) on the bra axes), so every batch slice is bit-identical to
+    the sequential conjugation.
+    """
+    n_qubits = (rhos.ndim - 1) // 2
+    wires = _check_wires(wires, n_qubits)
+    k = len(wires)
+    _check_batched_matrices(matrices, k, rhos.shape[0])
+    out = matmul_on_axes(rhos, matrices, [w + 1 for w in wires])
+    return matmul_on_axes(
+        out, matrices.conj(), [n_qubits + w + 1 for w in wires]
+    )
+
+
+def apply_kraus_to_density_batched(
+    rhos: np.ndarray, kraus_ops: Sequence[np.ndarray], wires: Sequence[int]
+) -> np.ndarray:
+    """Apply one Kraus channel to every density tensor of a stack.
+
+    The channel is shared batch-wide (a noise model's channels depend on
+    the gate type, never on angle values); operators are accumulated in
+    sequence order exactly like :func:`apply_kraus_to_density`.
+    """
+    if not kraus_ops:
+        raise ValueError("channel must have at least one Kraus operator")
+    out = np.zeros_like(rhos)
+    for kraus in kraus_ops:
+        out = out + apply_matrix_to_density_batched(rhos, kraus, wires)
+    return out
+
+
+def apply_superop_to_density_batched(
+    rhos: np.ndarray, superop: np.ndarray, wire: int
+) -> np.ndarray:
+    """Apply a single-qubit channel superoperator across a density stack.
+
+    Args:
+        rhos: Stacked density tensor ``(B,) + (2,) * 2n``.
+        superop: 4x4 channel matrix from :func:`kraus_to_superop`,
+            shared by the whole batch.
+        wire: Target qubit.
+
+    Returns:
+        New stacked density tensor; each slice bit-identical to
+        :func:`apply_superop_to_density`.
+    """
+    n_qubits = (rhos.ndim - 1) // 2
+    if not 0 <= wire < n_qubits:
+        raise ValueError(f"wire {wire} out of range for {n_qubits} qubits")
+    if superop.shape != (4, 4):
+        raise ValueError("superop must be 4x4 (single-qubit channels only)")
+    # The (ket, bra) index pair of `wire` flattens to one length-4 axis,
+    # exactly the contraction apply_superop_to_density's tensordot does.
+    return matmul_on_axes(
+        rhos, superop, [wire + 1, n_qubits + wire + 1]
+    )
 
 
 def kraus_to_superop(kraus_ops: Sequence[np.ndarray]) -> np.ndarray:

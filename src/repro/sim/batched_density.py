@@ -1,0 +1,219 @@
+"""Structure-grouped batched density-matrix simulation.
+
+The noisy device emulator's hot path is the same one PR 1 vectorized
+for pure states: thousands of *structurally identical* circuits —
+parameter-shifted clones and re-encoded mini-batch examples — that
+differ only in angles.  ``BatchedDensityMatrix`` stacks ``B`` such
+mixed states into one ``(B, 2, ..., 2, 2, ..., 2)`` tensor (ket axes
+first, then bra axes, mirroring :class:`~repro.sim.density.
+DensityMatrix`) and pushes every gate *and every noise channel* through
+all of them at once: one batched unitary conjugation per gate, one
+batched Kraus (or composed-superoperator) application per channel.
+
+Numerical contract: every per-circuit slice of the batched evolution
+and readout is **bit-identical** to what :class:`~repro.sim.density.
+DensityMatrix` computes for the same circuit under the same noise
+model — each batch slice reduces to the same GEMMs and reductions in
+the same order (see :func:`repro.sim.apply.matmul_on_axes`).  The
+equivalence tests in ``tests/test_batched_exec.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.sim import apply as _apply
+from repro.sim import gates as _gates
+from repro.sim import measurement as _measurement
+
+
+class BatchedDensityMatrix:
+    """``B`` stacked mixed states of ``n_qubits`` qubits.
+
+    Args:
+        n_qubits: Qubit count of every state in the stack.
+        batch_size: Number of states ``B``.
+        data: Optional ``(B, 2^n, 2^n)`` density matrices; defaults to
+            ``B`` copies of ``|0...0><0...0|``.
+    """
+
+    def __init__(
+        self,
+        n_qubits: int,
+        batch_size: int,
+        data: np.ndarray | None = None,
+    ):
+        if n_qubits < 1:
+            raise ValueError("need at least one qubit")
+        if batch_size < 1:
+            raise ValueError("need at least one state in the batch")
+        self.n_qubits = int(n_qubits)
+        self.batch_size = int(batch_size)
+        dim = 2**self.n_qubits
+        shape = (self.batch_size,) + (2,) * (2 * self.n_qubits)
+        if data is None:
+            tensor = np.zeros(shape, dtype=np.complex128)
+            tensor[(slice(None),) + (0,) * (2 * self.n_qubits)] = 1.0
+        else:
+            data = np.asarray(data, dtype=np.complex128)
+            if data.shape != (self.batch_size, dim, dim):
+                raise ValueError(
+                    f"data shape {data.shape}, expected "
+                    f"{(self.batch_size, dim, dim)}"
+                )
+            tensor = data.reshape(shape).copy()
+        self._tensor = tensor
+
+    # -- raw views ------------------------------------------------------
+
+    @property
+    def tensor(self) -> np.ndarray:
+        """Stacked density tensor ``(B,) + (2,)*2n`` (read-only view)."""
+        return self._tensor
+
+    @property
+    def matrices(self) -> np.ndarray:
+        """Flat ``(B, 2^n, 2^n)`` density matrices (copy)."""
+        dim = 2**self.n_qubits
+        return self._tensor.reshape(self.batch_size, dim, dim).copy()
+
+    def trace(self) -> np.ndarray:
+        """Per-state ``Tr(rho)``, shape ``(B,)``; 1 for normalized states."""
+        dim = 2**self.n_qubits
+        flat = self._tensor.reshape(self.batch_size, dim, dim)
+        return np.real(np.trace(flat, axis1=1, axis2=2))
+
+    def purity(self) -> np.ndarray:
+        """Per-state ``Tr(rho^2)``, shape ``(B,)``."""
+        dim = 2**self.n_qubits
+        flat = self._tensor.reshape(self.batch_size, dim, dim)
+        return np.real(
+            np.einsum("bij,bji->b", flat, flat)
+        )
+
+    # -- evolution ------------------------------------------------------
+
+    def apply_matrices(
+        self, matrices: np.ndarray, wires
+    ) -> "BatchedDensityMatrix":
+        """Conjugate by stacked ``(B, 2^k, 2^k)`` (or one shared
+        ``(2^k, 2^k)``) unitaries in place; returns self."""
+        self._tensor = _apply.apply_matrix_to_density_batched(
+            self._tensor, matrices, wires
+        )
+        return self
+
+    def apply_channel(
+        self, kraus_ops: Sequence[np.ndarray], wires
+    ) -> "BatchedDensityMatrix":
+        """Apply one Kraus channel to every state in place; returns self."""
+        self._tensor = _apply.apply_kraus_to_density_batched(
+            self._tensor, kraus_ops, wires
+        )
+        return self
+
+    def apply_superop(
+        self, superop: np.ndarray, wire: int
+    ) -> "BatchedDensityMatrix":
+        """Apply a composed single-qubit channel superoperator in place."""
+        self._tensor = _apply.apply_superop_to_density_batched(
+            self._tensor, superop, wire
+        )
+        return self
+
+    def evolve(self, batch, noise_model=None) -> "BatchedDensityMatrix":
+        """Run a :class:`~repro.circuits.batch.CircuitBatch` on the stack.
+
+        Gate matrices are built exactly like :meth:`~repro.sim.batched.
+        BatchedStatevector.evolve` (shared LRU-cached matrix for
+        parameterless / angle-uniform ops, vectorized closed form
+        otherwise).  Noise follows :meth:`~repro.sim.density.
+        DensityMatrix.evolve`: after each gate, the noise model's
+        ``superop_for`` fast path (one composed 4x4 per touched qubit,
+        shared batch-wide — channels depend on the gate type, never on
+        angles) or the generic ``channels_for`` Kraus interface.
+        """
+        if batch.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"batch acts on {batch.n_qubits} qubits, states have "
+                f"{self.n_qubits}"
+            )
+        if batch.size != self.batch_size:
+            raise ValueError(
+                f"batch has {batch.size} circuits, stack has "
+                f"{self.batch_size} states"
+            )
+        fast = getattr(noise_model, "superop_for", None)
+        for position, template in enumerate(batch.templates):
+            params = batch.op_params(position)
+            if params is None:
+                matrices = _gates.fixed_gate_matrix(template.name)
+            elif batch.op_is_uniform(position):
+                matrices = _gates.get_gate(template.name).matrix(
+                    *params[0]
+                )
+            else:
+                matrices = _gates.stacked_matrices(template.name, params)
+            self.apply_matrices(matrices, template.wires)
+            if noise_model is None:
+                continue
+            if fast is not None:
+                superop = fast(template)
+                if superop is not None:
+                    for wire in template.wires:
+                        self.apply_superop(superop, wire)
+                continue
+            for kraus_ops, wires in noise_model.channels_for(template):
+                self.apply_channel(kraus_ops, wires)
+        return self
+
+    # -- readout --------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Per-state diagonal of rho: ``(B, 2^n)`` basis probabilities."""
+        dim = 2**self.n_qubits
+        flat = self._tensor.reshape(self.batch_size, dim, dim)
+        probs = np.real(
+            np.diagonal(flat, axis1=1, axis2=2)
+        ).copy()
+        probs[probs < 0] = 0.0  # numerical floor
+        totals = probs.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0):
+            raise ValueError("density matrix has vanished trace")
+        return probs / totals
+
+    def expectation_z(self) -> np.ndarray:
+        """Exact per-qubit ``<Z>`` for every state, ``(B, n)``."""
+        return _measurement.expectation_z_from_prob_matrix(
+            self.probabilities()
+        )
+
+    def sample_counts(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> list[dict[str, int]]:
+        """Finite-shot counts per state, one vectorized multinomial draw.
+
+        The RNG stream is consumed row by row in batch order, matching
+        ``B`` sequential :meth:`~repro.sim.density.DensityMatrix.
+        sample_counts` calls — the same contract
+        :meth:`~repro.sim.batched.BatchedStatevector.sample_counts`
+        documents.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        return _measurement.sample_counts_batch(
+            self.probabilities(), shots, rng
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedDensityMatrix(B={self.batch_size}, "
+            f"n_qubits={self.n_qubits})"
+        )
+
+
+def run_density_batch(batch, noise_model=None) -> BatchedDensityMatrix:
+    """Evolve ``B`` copies of ``|0...0><0...0|`` through a circuit batch."""
+    state = BatchedDensityMatrix(batch.n_qubits, batch.size)
+    return state.evolve(batch, noise_model=noise_model)

@@ -12,6 +12,8 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.sim.apply import matmul_on_axes
+
 
 def counts_to_probabilities(
     counts: Mapping[str, int], n_qubits: int
@@ -160,6 +162,44 @@ def apply_readout_error(
     out = tensor.reshape(-1)
     out[out < 0] = 0.0
     return out / out.sum()
+
+
+def apply_readout_error_batch(
+    probs: np.ndarray, confusions: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Push a stack of outcome distributions through confusion matrices.
+
+    Args:
+        probs: ``(B, 2^n)`` matrix of true measurement probabilities.
+        confusions: One 2x2 confusion matrix per qubit (qubit 0 first),
+            shared by every row — readout error is a device property,
+            not a per-circuit one.
+
+    Returns:
+        ``(B, 2^n)`` matrix of *observed* outcome probabilities; each
+        row is bit-identical to :func:`apply_readout_error` on that row
+        (same per-qubit 2x2 GEMMs, same clamp, same row-sum
+        normalization).
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.ndim != 2:
+        raise ValueError("expected a (B, 2^n) probability matrix")
+    batch, dim = probs.shape
+    n_qubits = len(confusions)
+    if dim != 2**n_qubits:
+        raise ValueError(
+            f"probability row length {dim} does not match "
+            f"{n_qubits} confusion matrices"
+        )
+    tensor = probs.reshape((batch,) + (2,) * n_qubits)
+    for qubit, confusion in enumerate(confusions):
+        confusion = np.asarray(confusion, dtype=np.float64)
+        if confusion.shape != (2, 2):
+            raise ValueError("confusion matrices must be 2x2")
+        tensor = matmul_on_axes(tensor, confusion, [qubit + 1])
+    out = np.ascontiguousarray(tensor.reshape(batch, -1))
+    out[out < 0] = 0.0
+    return out / out.sum(axis=1, keepdims=True)
 
 
 def sample_from_probabilities(

@@ -62,9 +62,27 @@ class TestIdealBackend:
         with pytest.raises(ValueError, match="never used"):
             backend.run([bad])
 
-    def test_zero_shots_rejected(self):
+    def test_zero_shots_accepted_in_exact_mode(self):
+        # Exact execution ignores shots and reports shots=0 results;
+        # rejecting an explicit shots=0 contradicted that accounting.
+        backend = IdealBackend(exact=True)
+        results = backend.run([bell_circuit()], shots=0)
+        assert results[0].shots == 0
+        assert backend.meter.shots == 0
+
+    def test_zero_shots_rejected_on_sampling_backends(self):
         with pytest.raises(ValueError, match="shots"):
-            IdealBackend().run([bell_circuit()], shots=0)
+            IdealBackend(exact=False).run([bell_circuit()], shots=0)
+        with pytest.raises(ValueError, match="shots"):
+            NoisyBackend.from_device_name("ibmq_santiago").run(
+                [bell_circuit()], shots=0
+            )
+
+    def test_negative_shots_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="shots"):
+            IdealBackend(exact=True).run([bell_circuit()], shots=-1)
+        with pytest.raises(ValueError, match="shots"):
+            IdealBackend(exact=False).run([bell_circuit()], shots=-1)
 
 
 class TestMeter:
@@ -125,6 +143,25 @@ class TestMeter:
         backend.run([bell_circuit()], shots=10, purpose="gradient")
         delta = backend.meter.diff(window_start)
         assert "forward" not in delta["by_purpose"]
+
+    def test_diff_clamps_negative_deltas_after_reset(self):
+        # A reset() inside the window used to surface as negative usage;
+        # the contract now clamps every field independently at zero (a
+        # mid-window reset undercounts rather than going negative).
+        backend = IdealBackend(exact=False, seed=0)
+        backend.run([bell_circuit()] * 5, shots=100, purpose="forward")
+        window_start = backend.meter.snapshot()
+        backend.meter.reset()
+        backend.run([bell_circuit()] * 2, shots=10, purpose="gradient")
+        delta = backend.meter.diff(window_start)
+        assert delta == {
+            "circuits": 0,
+            "shots": 0,
+            "by_purpose": {"gradient": 2},
+            "shots_by_purpose": {"gradient": 20},
+        }
+        assert all(v >= 0 for v in delta["by_purpose"].values())
+        assert all(v >= 0 for v in delta["shots_by_purpose"].values())
 
     def test_diff_of_identical_snapshots_is_zero(self):
         backend = IdealBackend()

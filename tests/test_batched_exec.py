@@ -21,7 +21,16 @@ from repro.circuits import (
 from repro.gradients.finite_difference import finite_difference_jacobian
 from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
 from repro.hardware import IdealBackend, NoiseInjectionBackend, NoisyBackend
-from repro.sim import BatchedStatevector, Statevector, run_circuit_batch
+from repro.noise.calibration import get_calibration
+from repro.noise.model import NoiseModel
+from repro.sim import (
+    BatchedDensityMatrix,
+    BatchedStatevector,
+    DensityMatrix,
+    Statevector,
+    run_circuit_batch,
+    run_density_batch,
+)
 
 #: Gate vocabulary for random structure generation.
 _ONE_QUBIT = ["h", "x", "s", "sx", "ry", "rx", "rz", "phase"]
@@ -271,9 +280,13 @@ class TestMeterAccounting:
             meters.append(backend.meter.snapshot())
         assert meters[0] == meters[1]
 
-    def test_noisy_backend_stays_sequential(self):
+    def test_noisy_backend_batches_by_default(self):
         backend = NoisyBackend.from_device_name("ibmq_santiago", seed=0)
-        assert not backend.supports_batching()
+        assert backend.supports_batching()
+        sequential = NoisyBackend.from_device_name(
+            "ibmq_santiago", seed=0, batched=False
+        )
+        assert not sequential.supports_batching()
 
     def test_noise_injection_follows_inner(self):
         ideal = NoiseInjectionBackend(IdealBackend(exact=True), seed=0)
@@ -282,3 +295,206 @@ class TestMeterAccounting:
             IdealBackend(exact=True, batched=False), seed=0
         )
         assert not sequential.supports_batching()
+
+
+def noisy_pair(device="ibmq_lima", transpile=False, seed=7):
+    """(sequential, batched) NoisyBackend twins with one seed."""
+    sequential = NoisyBackend.from_device_name(
+        device, seed=seed, transpile=transpile, batched=False
+    )
+    batched = NoisyBackend.from_device_name(
+        device, seed=seed, transpile=transpile
+    )
+    return sequential, batched
+
+
+def device_circuit(rng, n_qubits=4):
+    """A 4-qubit circuit mixing trainable, literal, and fixed ops —
+    restricted to the vocabulary the transpiler decomposes."""
+    circuit = QuantumCircuit(n_qubits, num_parameters=3)
+    circuit.add("h", 0)
+    circuit.add_trainable("rzz", (0, 1), 0)
+    circuit.add_trainable("rxx", (2, 3), 1)
+    circuit.add("swap", (0, 3))
+    circuit.add("rx", 2, float(rng.uniform(-np.pi, np.pi)))
+    circuit.add_trainable("ry", 1, 2)
+    circuit.add("cx", (1, 2))
+    return circuit.bind(rng.uniform(-np.pi, np.pi, 3))
+
+
+class TestBatchedDensityMatrix:
+    """The batched mixed-state engine slice-matches DensityMatrix."""
+
+    def test_evolution_bit_identical_without_noise(self):
+        rng = np.random.default_rng(100)
+        base = random_structure(rng, 3)
+        circuits = [rebind(base, rng) for _ in range(6)]
+        stacked = run_density_batch(CircuitBatch(circuits))
+        for row, circuit in zip(stacked.matrices, circuits):
+            single = DensityMatrix(3).evolve(circuit)
+            assert np.array_equal(row, single.matrix)
+
+    def test_evolution_bit_identical_with_noise_model(self):
+        rng = np.random.default_rng(101)
+        model = NoiseModel(get_calibration("ibmq_santiago"))
+        base = random_structure(rng, 3)
+        circuits = [rebind(base, rng) for _ in range(5)]
+        stacked = run_density_batch(CircuitBatch(circuits), noise_model=model)
+        for row in range(len(circuits)):
+            single = DensityMatrix(3).evolve(
+                circuits[row], noise_model=model
+            )
+            assert np.array_equal(
+                stacked.probabilities()[row], single.probabilities()
+            )
+
+    def test_generic_kraus_path_bit_identical(self):
+        class KrausOnly:
+            """Noise model view without the superop fast path."""
+
+            def __init__(self, model):
+                self.channels_for = model.channels_for
+
+        rng = np.random.default_rng(102)
+        model = NoiseModel(get_calibration("ibmq_manila"))
+        base = random_structure(rng, 2)
+        circuits = [rebind(base, rng) for _ in range(4)]
+        stacked = run_density_batch(
+            CircuitBatch(circuits), noise_model=KrausOnly(model)
+        )
+        for row in range(len(circuits)):
+            single = DensityMatrix(2).evolve(
+                circuits[row], noise_model=KrausOnly(model)
+            )
+            assert np.array_equal(
+                stacked.probabilities()[row], single.probabilities()
+            )
+
+    def test_sampling_matches_sequential_stream(self):
+        rng = np.random.default_rng(103)
+        model = NoiseModel(get_calibration("ibmq_lima"))
+        base = random_structure(rng, 3)
+        circuits = [rebind(base, rng) for _ in range(4)]
+        batch_counts = run_density_batch(
+            CircuitBatch(circuits), noise_model=model
+        ).sample_counts(256, rng=np.random.default_rng(99))
+        sequential_rng = np.random.default_rng(99)
+        for counts, circuit in zip(batch_counts, circuits):
+            single = DensityMatrix(3).evolve(circuit, noise_model=model)
+            assert counts == single.sample_counts(256, rng=sequential_rng)
+
+    def test_trace_and_purity(self):
+        rng = np.random.default_rng(104)
+        base = random_structure(rng, 2)
+        circuits = [rebind(base, rng) for _ in range(3)]
+        stacked = run_density_batch(CircuitBatch(circuits))
+        assert np.allclose(stacked.trace(), 1.0, atol=1e-12)
+        assert np.allclose(stacked.purity(), 1.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        batch = CircuitBatch([QuantumCircuit(2).add("h", 0)])
+        with pytest.raises(ValueError, match="qubits"):
+            BatchedDensityMatrix(3, 1).evolve(batch)
+        with pytest.raises(ValueError, match="circuits"):
+            BatchedDensityMatrix(2, 4).evolve(batch)
+        with pytest.raises(ValueError, match="data shape"):
+            BatchedDensityMatrix(2, 2, data=np.eye(4))
+
+
+class TestNoisyBatchedEquivalence:
+    """NoisyBackend's vectorized path vs its sequential loop."""
+
+    @pytest.mark.parametrize("transpile", [False, True])
+    def test_observed_probabilities_bit_identical(self, transpile):
+        rng = np.random.default_rng(110)
+        circuits = [device_circuit(rng) for _ in range(6)]
+        sequential, batched = noisy_pair(transpile=transpile)
+        stacked = batched.observed_probabilities_batch(circuits)
+        for row, circuit in zip(stacked, circuits):
+            assert np.array_equal(
+                row, sequential.observed_probabilities(circuit)
+            )
+
+    @pytest.mark.parametrize("transpile", [False, True])
+    def test_single_structure_counts_identical(self, transpile):
+        rng = np.random.default_rng(111)
+        circuits = [device_circuit(rng) for _ in range(5)]
+        sequential, batched = noisy_pair(transpile=transpile)
+        seq_results = sequential.run(circuits, shots=512)
+        bat_results = batched.run(circuits, shots=512)
+        for a, b in zip(seq_results, bat_results):
+            assert a.counts == b.counts
+            assert np.array_equal(a.expectations, b.expectations)
+            assert a.shots == b.shots == 512
+        assert sequential.meter.snapshot() == batched.meter.snapshot()
+
+    def test_mixed_structures_follow_group_order_contract(self):
+        # Batched execution consumes the RNG stream group by group in
+        # first-appearance order; the sequential reference reproduces
+        # that by running the circuits re-ordered into group order.
+        rng = np.random.default_rng(112)
+        structure_a = device_circuit(rng)
+        structure_b = QuantumCircuit(4, num_parameters=1)
+        structure_b.add("h", 2)
+        structure_b.add_trainable("rzz", (2, 3), 0)
+        structure_b.bind([0.4])
+        mixed = [
+            structure_a,
+            structure_b,
+            rebind(structure_a, rng),
+            structure_b.bound([1.1]),
+        ]
+        group_order = [mixed[0], mixed[2], mixed[1], mixed[3]]
+
+        sequential, batched = noisy_pair()
+        reference = {
+            id(circuit): result
+            for circuit, result in zip(
+                group_order, sequential.run(group_order, shots=256)
+            )
+        }
+        results = batched.run(mixed, shots=256)
+        for circuit, result in zip(mixed, results):
+            assert result.counts == reference[id(circuit)].counts
+
+    def test_exact_expectations_unchanged(self):
+        rng = np.random.default_rng(113)
+        circuit = device_circuit(rng)
+        sequential, batched = noisy_pair()
+        assert np.array_equal(
+            sequential.exact_expectations(circuit),
+            batched.exact_expectations(circuit),
+        )
+
+    def test_parameter_shift_gradients_identical(self):
+        rng = np.random.default_rng(114)
+        circuits = [device_circuit(rng) for _ in range(2)]
+        jac_seq = parameter_shift_jacobian_batch(
+            circuits,
+            NoisyBackend.from_device_name(
+                "ibmq_santiago", seed=5, batched=False
+            ),
+            shots=256,
+        )
+        jac_bat = parameter_shift_jacobian_batch(
+            circuits,
+            NoisyBackend.from_device_name("ibmq_santiago", seed=5),
+            shots=256,
+        )
+        for a, b in zip(jac_seq, jac_bat):
+            assert np.array_equal(a, b)
+
+    def test_noise_scale_zero_still_batches(self):
+        rng = np.random.default_rng(115)
+        circuits = [device_circuit(rng) for _ in range(3)]
+        sequential = NoisyBackend.from_device_name(
+            "ibmq_lima", seed=3, noise_scale=0.0, batched=False
+        )
+        batched = NoisyBackend.from_device_name(
+            "ibmq_lima", seed=3, noise_scale=0.0
+        )
+        for a, b in zip(
+            sequential.run(circuits, shots=128),
+            batched.run(circuits, shots=128),
+        ):
+            assert a.counts == b.counts

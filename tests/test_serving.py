@@ -213,6 +213,57 @@ class TestResultCache:
         result.expectations[0] = 99.0
         assert cache.get("a").expectations[0] == 1.0
 
+    def test_stats_snapshot_is_internally_consistent(self):
+        cache = ResultCache(capacity=4)
+        cache.put("a", _result(1.0))
+        cache.get("a")
+        cache.get("b")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == stats["hits"] / (
+            stats["hits"] + stats["misses"]
+        )
+
+    def test_telemetry_consistent_under_concurrent_lookups(self):
+        # Regression: hit_rate()/stats() used to read hits/misses
+        # outside the lock, so a reader racing lookups could see a
+        # torn ratio (fresh hits over a stale total, hit_rate > 1).
+        cache = ResultCache(capacity=8)
+        cache.put("hot", _result(1.0))
+        stop = threading.Event()
+        anomalies: list[dict] = []
+
+        def hammer():
+            while not stop.is_set():
+                cache.get("hot")
+                cache.get("cold")
+
+        def watch():
+            while not stop.is_set():
+                stats = cache.stats()
+                rate = cache.hit_rate()
+                if not 0.0 <= stats["hit_rate"] <= 1.0:
+                    anomalies.append(stats)
+                if not 0.0 <= rate <= 1.0:
+                    anomalies.append({"hit_rate": rate})
+
+        workers = [threading.Thread(target=hammer) for _ in range(3)]
+        watcher = threading.Thread(target=watch)
+        for thread in workers + [watcher]:
+            thread.start()
+        stop.wait(0.2)
+        stop.set()
+        for thread in workers + [watcher]:
+            thread.join()
+        assert anomalies == []
+        # Quiesced counters add up exactly.
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0
+        assert stats["hit_rate"] == stats["hits"] / (
+            stats["hits"] + stats["misses"]
+        )
+
 
 class TestRouter:
     def test_round_robin_cycles(self):
@@ -295,10 +346,28 @@ class TestExecutionService:
             with pytest.raises(JobError, match="never used"):
                 service.submit([bad])
 
-    def test_zero_shots_rejected(self):
-        with ExecutionService(IdealBackend(exact=True)) as service:
+    def test_zero_shots_rejected_for_sampling_backends(self):
+        with ExecutionService(IdealBackend(exact=False, seed=0)) as service:
             with pytest.raises(ValueError, match="shots"):
                 service.submit([ghz_circuit()], shots=0)
+        # A mixed pool is only as exact as its least exact member.
+        mixed = [IdealBackend(exact=True), IdealBackend(exact=False, seed=0)]
+        with ExecutionService(mixed, enable_cache=False) as service:
+            with pytest.raises(ValueError, match="shots"):
+                service.submit([ghz_circuit()], shots=0)
+
+    def test_zero_shots_accepted_for_exact_pools(self):
+        # Mirrors Backend.run: exact execution ignores shots and reports
+        # shots=0 results, so an explicit shots=0 submission is legal.
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            job = service.submit([ghz_circuit()], shots=0)
+            results = job.result(timeout=10)
+            assert results[0].shots == 0
+
+    def test_negative_shots_rejected(self):
+        with ExecutionService(IdealBackend(exact=True)) as service:
+            with pytest.raises(ValueError, match="shots"):
+                service.submit([ghz_circuit()], shots=-5)
 
     def test_empty_submission_completes_immediately(self):
         with ExecutionService(IdealBackend(exact=True)) as service:
@@ -429,6 +498,112 @@ class TestExecutionService:
             assert service.pending_circuits == 0  # reservation released
         finally:
             service.stop()
+
+    def test_dispatch_worker_reraises_keyboard_interrupt(self):
+        # Regression: _run_batch caught BaseException and returned,
+        # swallowing KeyboardInterrupt/SystemExit inside the dispatch
+        # pool.  The jobs must still fail (clients unblock), but the
+        # exception has to surface.
+        from repro.serving import CoalescingScheduler, WorkItem
+
+        class FakeJob:
+            def __init__(self):
+                self.failure = None
+
+            def _mark_running(self):
+                pass
+
+            def _fail(self, exc):
+                self.failure = exc
+
+            def _fulfill(self, index, result):
+                pass
+
+        class InterruptRouter:
+            backends = [IdealBackend(exact=True)]
+
+            def execute(self, circuits, **kwargs):
+                raise KeyboardInterrupt()
+
+        released = []
+        job = FakeJob()
+        scheduler = CoalescingScheduler(JobQueue(), InterruptRouter())
+        items = [
+            WorkItem(
+                circuit=ghz_circuit(),
+                shots=16,
+                purpose="run",
+                job=job,
+                index=0,
+                release=lambda: released.append(True),
+            )
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            scheduler._run_batch(items, "size")
+        assert isinstance(job.failure, KeyboardInterrupt)
+        assert released == [True]
+
+    def test_pool_dispatched_interrupt_reaches_main_thread(self, monkeypatch):
+        # The dispatch pool stores a worker's re-raised exception on a
+        # Future nobody reads; the done-callback must forward
+        # process-level interrupts to the main thread instead of
+        # letting them vanish there.
+        from repro.serving import scheduler as scheduler_module
+
+        delivered = []
+        monkeypatch.setattr(
+            scheduler_module._thread,
+            "interrupt_main",
+            lambda: delivered.append(True),
+        )
+
+        class DoneFuture:
+            def __init__(self, exc):
+                self._exc = exc
+
+            def exception(self):
+                return self._exc
+
+        scheduler_module._surface_interrupt(DoneFuture(KeyboardInterrupt()))
+        scheduler_module._surface_interrupt(DoneFuture(SystemExit()))
+        assert delivered == [True, True]
+        # Ordinary failures and clean completions are not escalated.
+        scheduler_module._surface_interrupt(DoneFuture(RuntimeError("x")))
+        scheduler_module._surface_interrupt(DoneFuture(None))
+        assert delivered == [True, True]
+
+    def test_dispatch_worker_contains_ordinary_exceptions(self):
+        from repro.serving import CoalescingScheduler, WorkItem
+
+        class FakeJob:
+            def __init__(self):
+                self.failure = None
+
+            def _mark_running(self):
+                pass
+
+            def _fail(self, exc):
+                self.failure = exc
+
+        class BrokenRouter:
+            backends = [IdealBackend(exact=True)]
+
+            def execute(self, circuits, **kwargs):
+                raise RuntimeError("device offline")
+
+        job = FakeJob()
+        scheduler = CoalescingScheduler(JobQueue(), BrokenRouter())
+        items = [
+            WorkItem(
+                circuit=ghz_circuit(),
+                shots=16,
+                purpose="run",
+                job=job,
+                index=0,
+            )
+        ]
+        scheduler._run_batch(items, "size")  # must not raise
+        assert isinstance(job.failure, RuntimeError)
 
     def test_rebind_after_submit_does_not_corrupt_result_or_cache(self):
         """Submitted work is detached from the caller's mutable circuit."""
