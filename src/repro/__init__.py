@@ -24,6 +24,7 @@ Subpackages
 ``repro.ml``         softmax/CE head, optimizers, schedulers, PCA, metrics
 ``repro.training``   the TrainingEngine and evaluation helpers
 ``repro.serving``    async ExecutionService: coalescing, caching, routing
+``repro.parallel``   multi-process sharded execution (worker pools)
 ``repro.data``       synthetic datasets + preprocessing pipelines
 ``repro.scaling``    Fig. 2a / Fig. 8 cost and runtime models
 ``repro.analysis``   Fig. 2b / Fig. 2c noise analyses + gradient variance
@@ -39,6 +40,7 @@ from repro.gradients import parameter_shift_jacobian
 from repro.hardware import IdealBackend, NoisyBackend, QuantumProvider
 from repro.interop import from_qasm, load_run, save_run, to_qasm
 from repro.noise import NoiseModel, get_calibration
+from repro.parallel import BackendSpec, ShardedBackend
 from repro.pruning import GradientPruner, PruningHyperparams
 from repro.serving import ExecutionService, ServiceExecutor
 from repro.sim import DensityMatrix, Statevector
@@ -46,6 +48,7 @@ from repro.training import TrainingConfig, TrainingEngine, evaluate_accuracy
 from repro.version import __version__
 
 __all__ = [
+    "BackendSpec",
     "Dataset",
     "DensityMatrix",
     "ExecutionService",
@@ -58,6 +61,7 @@ __all__ = [
     "QuantumCircuit",
     "QuantumProvider",
     "ServiceExecutor",
+    "ShardedBackend",
     "Statevector",
     "TrainingConfig",
     "TrainingEngine",

@@ -8,6 +8,11 @@ Commands
 ``draw``          print a task's circuit as ASCII art
 ``serve-bench``   multi-client throughput of the async ExecutionService
 
+``repro --version`` prints the package version.  ``train`` and
+``serve-bench`` take ``--workers N`` to shard execution across a
+:mod:`repro.parallel` worker-process pool (defaulting to the
+``REPRO_WORKERS`` environment variable).
+
 Examples
 --------
 ::
@@ -29,10 +34,15 @@ import numpy as np
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="QOC: quantum on-chip training with parameter shift "
                     "and gradient pruning (DAC 2022 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -63,6 +73,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["probabilistic", "deterministic"])
     train.add_argument("--eval-every", type=int, default=5)
     train.add_argument("--eval-size", type=int, default=60)
+    train.add_argument("--workers", type=int, default=None,
+                       help="shard execution across N worker processes "
+                            "(default: $REPRO_WORKERS, else "
+                            "single-process)")
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--save", metavar="PATH",
                        help="write the run (config/theta/history) as JSON")
@@ -103,6 +117,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="coalescer size-flush threshold")
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="coalescer deadline-flush bound")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes per routed backend "
+                            "(default: $REPRO_WORKERS, else "
+                            "single-process)")
     serve.add_argument("--seed", type=int, default=0)
     return parser
 
@@ -110,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.hardware import QuantumProvider
     from repro.interop import save_run
+    from repro.parallel import ShardedBackend, default_workers
     from repro.pruning import PruningHyperparams
     from repro.training import TrainingConfig, TrainingEngine
 
@@ -131,6 +150,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     backend = QuantumProvider(seed=args.seed).get_backend(args.device)
+    device_name = backend.name
+    workers = (
+        default_workers() if args.workers is None else max(0, args.workers)
+    )
+    if workers:
+        backend = ShardedBackend(backend, workers=workers)
     engine = TrainingEngine(config, backend)
     if not args.quiet:
         mode = "QC-Train-PGP" if args.pgp else (
@@ -138,7 +163,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         print(f"{mode}: task={args.task} backend={backend.name} "
               f"params={engine.architecture.num_parameters}")
-    history = engine.train(verbose=not args.quiet)
+    try:
+        history = engine.train(verbose=not args.quiet)
+    finally:
+        if workers:
+            backend.close()
     print(f"final accuracy {history.final_accuracy:.3f}  "
           f"best {history.best_accuracy:.3f}  "
           f"training circuits {engine.training_inferences()}")
@@ -146,9 +175,16 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"gradient evaluations skipped: "
               f"{engine.pruner.empirical_savings:.1%}")
     if args.save:
+        # The recorded backend is the *device*, not the execution
+        # topology — a run trained on ibmq_lima stays comparable no
+        # matter how many worker processes executed it; the worker
+        # count is kept alongside.
+        metadata = {"backend": device_name}
+        if workers:
+            metadata["workers"] = workers
         save_run(
             args.save, config, engine.theta, history,
-            metadata={"backend": backend.name},
+            metadata=metadata, meter=backend.meter,
         )
         print(f"run saved to {args.save}")
     return 0
@@ -267,6 +303,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_batch_size=args.max_batch,
         max_delay_s=args.max_delay_ms / 1000.0,
+        workers=args.workers,
     ) as service:
         # Service path: clients pipeline async submissions (futures)
         # per wave, then gather — in-flight work from all clients

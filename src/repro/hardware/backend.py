@@ -30,6 +30,15 @@ bit-identical to the sequential path on both; sampled counts consume
 the seeded RNG stream per circuit in group order (identical to
 sequential execution for single-structure submissions).  Either backend
 accepts ``batched=False`` to force the sequential per-circuit loop.
+
+Multi-process execution
+-----------------------
+Both backends are single-process; :mod:`repro.parallel` scales past one
+core.  :class:`~repro.parallel.ShardedBackend` is a drop-in ``Backend``
+that shards every structure group across a persistent pool of worker
+processes, each hosting its own replica of one of the backends above
+(rebuilt from a picklable :class:`~repro.parallel.BackendSpec`), and
+merges the workers' per-shard meter windows back into its facade meter.
 """
 
 from __future__ import annotations
@@ -158,6 +167,34 @@ class CircuitRunMeter:
             "shots_by_purpose": shots_by_purpose,
         }
 
+    def merge(self, window: dict) -> None:
+        """Fold a snapshot-shaped dict into this meter, field by field.
+
+        The aggregation primitive for multi-process execution: each
+        worker process meters its own shards and ships the
+        :meth:`diff` window back over the pipe (a meter itself cannot
+        cross the process boundary — it holds a lock), and the facade
+        backend merges every window here so its meter reads as if it
+        had executed the circuits itself, purpose breakdowns included.
+
+        Args:
+            window: A dict shaped like :meth:`snapshot` /
+                :meth:`diff` output.
+        """
+        with self._lock:
+            self.circuits += window["circuits"]
+            self.shots += window["shots"]
+            for purpose, count in window.get("by_purpose", {}).items():
+                self.by_purpose[purpose] = (
+                    self.by_purpose.get(purpose, 0) + count
+                )
+            for purpose, count in window.get(
+                "shots_by_purpose", {}
+            ).items():
+                self.shots_by_purpose[purpose] = (
+                    self.shots_by_purpose.get(purpose, 0) + count
+                )
+
 
 @dataclasses.dataclass(frozen=True)
 class ExecutionResult:
@@ -183,6 +220,11 @@ class Backend(abc.ABC):
 
     def __init__(self, seed: int | None = None):
         self._rng = np.random.default_rng(seed)
+        # The seed itself is kept (not just the Generator) so a
+        # BackendSpec can capture this backend for rebuilding inside a
+        # worker process — a Generator's stream position cannot cross
+        # the process boundary, its originating seed can.
+        self._seed = seed
         self.meter = CircuitRunMeter()
 
     @abc.abstractmethod
@@ -287,10 +329,23 @@ class Backend(abc.ABC):
                     results[position] = result
         else:
             results = [self._execute(circuit, shots) for circuit in circuits]
-        self.meter.record(
+        self._record_run(
             len(circuits), sum(r.shots for r in results), purpose
         )
         return results
+
+    def _record_run(
+        self, n_circuits: int, total_shots: int, purpose: str
+    ) -> None:
+        """Meter one completed :meth:`run`; override to re-route.
+
+        The default records on :attr:`meter`.  A facade backend whose
+        execution is metered elsewhere (``repro.parallel``'s
+        :class:`~repro.parallel.ShardedBackend` merges worker-side
+        meter windows instead, to the same totals) overrides this to a
+        no-op so the submission is not counted twice.
+        """
+        self.meter.record(n_circuits, total_shots, purpose)
 
     def expectations(
         self,
@@ -309,6 +364,7 @@ class Backend(abc.ABC):
     def seed(self, seed: int | None) -> None:
         """Reseed the backend's sampler (for reproducible experiments)."""
         self._rng = np.random.default_rng(seed)
+        self._seed = seed
 
 
 class IdealBackend(Backend):

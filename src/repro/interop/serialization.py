@@ -54,6 +54,7 @@ def save_run(
     theta: np.ndarray,
     history: TrainingHistory,
     metadata: dict[str, Any] | None = None,
+    meter: Any | None = None,
 ) -> None:
     """Persist a completed training run to a JSON file.
 
@@ -64,6 +65,11 @@ def save_run(
         history: The run's training history.
         metadata: Optional extra JSON-compatible fields (device name,
             wall-clock, notes, ...).
+        meter: Optional :class:`~repro.hardware.CircuitRunMeter` (or a
+            ``snapshot()``-shaped dict) of the backend the run
+            executed on.  Saved runs then carry the paper's inference
+            budget — total circuits and shots, broken down per purpose
+            (Fig. 6's x-axis) — next to the history that refers to it.
     """
     payload = {
         "format_version": FORMAT_VERSION,
@@ -72,6 +78,10 @@ def save_run(
         "history": history.to_dict(),
         "metadata": metadata or {},
     }
+    if meter is not None:
+        payload["meter"] = (
+            meter.snapshot() if hasattr(meter, "snapshot") else dict(meter)
+        )
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
@@ -81,7 +91,11 @@ def load_run(
     """Load a run saved by :func:`save_run`.
 
     Returns:
-        ``(config, theta, history, metadata)``.
+        ``(config, theta, history, metadata)``.  When the payload
+        carries a usage-meter snapshot (runs saved with ``meter=``),
+        it is surfaced as ``metadata["meter"]``; payloads written
+        before the field existed load unchanged — the key is simply
+        absent.
 
     Raises:
         ValueError: on format-version mismatch or malformed payloads.
@@ -96,4 +110,8 @@ def load_run(
     config = config_from_dict(payload["config"])
     theta = np.asarray(payload["theta"], dtype=np.float64)
     history = history_from_dict(payload["history"])
-    return config, theta, history, payload.get("metadata", {})
+    metadata = payload.get("metadata", {})
+    if "meter" in payload:
+        metadata = dict(metadata)
+        metadata["meter"] = payload["meter"]
+    return config, theta, history, metadata

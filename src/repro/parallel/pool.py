@@ -1,0 +1,470 @@
+"""The persistent worker pool: spawn, scatter, gather, survive crashes.
+
+``WorkerPool`` owns ``n_workers`` long-lived **spawned** processes
+(spawn, not fork: workers must not inherit the parent's NumPy/BLAS
+state, locks, or open pipes — and spawn behaves identically on every
+platform).  Each worker builds its own backend replica from the pool's
+:class:`~repro.parallel.BackendSpec` once, then serves shard requests
+over a dedicated duplex pipe until told to stop — so the per-process
+startup cost (interpreter + NumPy import + noise-model construction) is
+paid once per pool, not once per submission.
+
+Execution of one shard inside a worker:
+
+* exact backends run the shard through ``Backend.run`` unchanged (no
+  randomness involved, results are bit-identical to the parent's own
+  batched path);
+* sampling backends split the work: the *expensive* part — the stacked
+  statevector / density evolution and readout post-processing — is
+  computed batch-wide via the replica's vectorized path, then each
+  circuit's counts are drawn from its own
+  :class:`~numpy.random.SeedSequence` substream carried by the shard,
+  so sampled results are keyed to the circuit, not to the worker that
+  happened to execute it.
+
+Every response ships the replica's meter window
+(:meth:`~repro.hardware.CircuitRunMeter.diff`) for the facade to merge.
+
+Crash handling: a worker that dies mid-shard (OOM kill, segfault in a
+native extension, ...) is detected by its broken pipe; the pool spawns
+a fresh worker in the same slot and re-sends the unacknowledged shards.
+Because shard seeds are position-keyed, a retried shard reproduces
+exactly the results the dead worker would have produced.  A shard that
+*keeps* killing workers raises :class:`WorkerCrashError` after
+``max_retries`` respawns instead of looping forever.  Worker-side
+Python exceptions are not retried — they are deterministic — and
+re-raise in the parent with the worker traceback attached.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+import weakref
+
+import numpy as np
+
+from repro.circuits.batch import CircuitBatch
+from repro.hardware.backend import Backend, ExecutionResult
+from repro.hardware.noisy_backend import NoisyBackend
+from repro.parallel.shard import Shard
+from repro.parallel.spec import BackendSpec
+from repro.sim import measurement as _measurement
+from repro.sim.batched import BatchedStatevector
+
+
+class WorkerCrashError(RuntimeError):
+    """A shard repeatedly killed the workers executing it."""
+
+
+class WorkerError(RuntimeError):
+    """A worker-side exception, re-raised in the parent process."""
+
+
+# -- worker-side execution ---------------------------------------------------
+
+
+def batch_probabilities(backend: Backend, circuits: list) -> np.ndarray:
+    """Stacked outcome distributions for one same-structure group.
+
+    For a :class:`NoisyBackend` these are the *observed* distributions
+    (noise + readout error) — exactly what its sampler draws from; for
+    an :class:`IdealBackend`, the exact Born-rule distributions.  Rows
+    are bit-identical to the corresponding single-circuit computation
+    (the batched engines' contract), which is what keeps sharded
+    results independent of how a group was chunked.
+    """
+    if isinstance(backend, NoisyBackend):
+        return backend.observed_probabilities_batch(circuits)
+    batch = CircuitBatch(circuits)
+    state = BatchedStatevector(batch.n_qubits, batch.size).evolve(batch)
+    return state.probabilities()
+
+
+def _meter_window(backend: Backend, before: dict, purpose: str) -> dict:
+    """The shard's meter delta, purpose entries included even at zero.
+
+    :meth:`CircuitRunMeter.diff` drops zero-delta purposes, but an
+    exact-mode run *records* ``shots_by_purpose[purpose] = 0`` — and
+    the facade merge must reproduce that entry bit-for-bit, or a
+    sharded backend's meter would not compare equal to a direct
+    backend's after identical traffic.  A shard is exactly one run
+    under one purpose, so the delta is computed for that key alone.
+    """
+    after = backend.meter.snapshot()
+    return {
+        "circuits": after["circuits"] - before["circuits"],
+        "shots": after["shots"] - before["shots"],
+        "by_purpose": {
+            purpose: after["by_purpose"].get(purpose, 0)
+            - before["by_purpose"].get(purpose, 0)
+        },
+        "shots_by_purpose": {
+            purpose: after["shots_by_purpose"].get(purpose, 0)
+            - before["shots_by_purpose"].get(purpose, 0)
+        },
+    }
+
+
+def execute_shard(
+    backend: Backend,
+    shard: Shard,
+    shots: int,
+    purpose: str,
+) -> tuple[list[ExecutionResult], dict]:
+    """Run one shard on a backend replica; returns results + meter window.
+
+    Exact backends delegate to ``Backend.run``; sampling backends
+    compute the shard's distributions batch-wide and then sample each
+    circuit from its own seed substream (see module docstring).
+    """
+    before = backend.meter.snapshot()
+    if backend.exact_execution():
+        results = backend.run(
+            shard.circuits, shots=shots, purpose=purpose, validate=False
+        )
+        return results, _meter_window(backend, before, purpose)
+    if shard.seeds is None:
+        raise ValueError(
+            "sampling execution needs per-circuit seed substreams"
+        )
+    probs = batch_probabilities(backend, shard.circuits)
+    results = []
+    for row, seed, circuit in zip(probs, shard.seeds, shard.circuits):
+        rng = np.random.default_rng(seed)
+        counts = _measurement.sample_from_probabilities(row, shots, rng)
+        results.append(
+            ExecutionResult(
+                counts=counts,
+                expectations=_measurement.expectation_z_from_counts(
+                    counts, circuit.n_qubits
+                ),
+                shots=shots,
+            )
+        )
+    backend.meter.record(len(results), shots * len(results), purpose)
+    return results, _meter_window(backend, before, purpose)
+
+
+def _worker_main(conn, spec: BackendSpec) -> None:
+    """Entry point of one worker process: serve requests until stopped."""
+    backend = spec.build()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        kind, payload = message
+        try:
+            if kind == "run":
+                shard, shots, purpose = payload
+                results, window = execute_shard(
+                    backend, shard, shots, purpose
+                )
+                response = ("ok", (results, window))
+            elif kind == "probs":
+                (shard,) = payload
+                rows = batch_probabilities(backend, shard.circuits)
+                response = ("ok", (rows, None))
+            elif kind == "ping":
+                response = ("ok", (backend.name, None))
+            else:
+                raise ValueError(f"unknown request kind {kind!r}")
+        except Exception as exc:
+            response = (
+                "error",
+                (type(exc).__name__, str(exc), traceback.format_exc()),
+            )
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _shutdown(processes: list, connections: list) -> None:
+    """Finalizer body: stop workers without touching the pool object."""
+    for conn in connections:
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+    for conn in connections:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+
+
+class _WorkerHandle:
+    """One pool slot: a spawned process plus its parent-side pipe end."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """``n_workers`` persistent backend replicas behind request pipes.
+
+    Args:
+        spec: Recipe every worker builds its replica from.
+        n_workers: Pool size.
+        max_retries: Respawn-and-retry budget per shard before a crash
+            is escalated as :class:`WorkerCrashError`.
+
+    Workers are spawned lazily on first use (:meth:`ensure_started`),
+    so constructing a pool — e.g. inside a backend that may never
+    execute — costs nothing.  The pool is a context manager; it also
+    registers a finalizer, so abandoned pools are reaped at garbage
+    collection and worker processes are daemonic besides (they can
+    never outlive the parent).  Not thread-safe: one scatter/gather at
+    a time, which matches the per-backend run lock the serving router
+    already imposes.
+    """
+
+    def __init__(
+        self,
+        spec: BackendSpec,
+        n_workers: int,
+        max_retries: int = 2,
+    ):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        self.spec = spec
+        self.n_workers = int(n_workers)
+        self.max_retries = int(max_retries)
+        self._context = multiprocessing.get_context("spawn")
+        self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
+        self._started = False
+        self._closed = False
+        self.restarts = 0
+        self.shards_executed = 0
+        self._finalizer = weakref.finalize(self, _shutdown, [], [])
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn(self, slot: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self.spec),
+            name=f"repro-worker-{slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        handle = _WorkerHandle(process, parent_conn)
+        self._workers[slot] = handle
+        self._refresh_finalizer()
+        return handle
+
+    def _refresh_finalizer(self) -> None:
+        """Point the GC finalizer at the *current* worker set.
+
+        Re-registered on every spawn — startup and crash replacement
+        alike — so an abandoned pool's reaper always covers the
+        processes that actually exist, not the ones it started with.
+        """
+        self._finalizer.detach()
+        live = [w for w in self._workers if w is not None]
+        self._finalizer = weakref.finalize(
+            self,
+            _shutdown,
+            [w.process for w in live],
+            [w.conn for w in live],
+        )
+
+    def ensure_started(self) -> None:
+        """Spawn all workers (idempotent; called on first execution)."""
+        if self._closed:
+            raise RuntimeError("worker pool is closed")
+        if self._started:
+            return
+        for slot in range(self.n_workers):
+            if self._workers[slot] is None:
+                self._spawn(slot)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop every worker and join it; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        live = [w for w in self._workers if w is not None]
+        _shutdown([w.process for w in live], [w.conn for w in live])
+        self._workers = [None] * self.n_workers
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def alive_workers(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(
+            1 for w in self._workers if w is not None and w.alive()
+        )
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- crash plumbing (also the test hook) -----------------------------
+
+    def _restart(self, slot: int) -> _WorkerHandle:
+        """Replace the worker in ``slot`` with a fresh process."""
+        handle = self._workers[slot]
+        if handle is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if handle.alive():
+                handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        self.restarts += 1
+        return self._spawn(slot)
+
+    def kill_worker(self, slot: int) -> None:
+        """Hard-kill one worker (crash-recovery testing aid)."""
+        handle = self._workers[slot]
+        if handle is not None and handle.alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+
+    # -- scatter / gather ------------------------------------------------
+
+    def run_shards(self, requests: list[tuple[int, tuple]]) -> list:
+        """Execute ``(worker_slot, request)`` pairs; gather in order.
+
+        Each request is a ``(kind, payload)`` tuple as understood by
+        the worker loop.  Requests for one worker execute in the order
+        given; distinct workers execute concurrently.  Returns one
+        response payload per request, aligned with the input order.
+
+        Raises:
+            WorkerError: A worker raised; its traceback is included.
+            WorkerCrashError: A shard exceeded its respawn budget.
+        """
+        if not requests:
+            return []
+        self.ensure_started()
+        per_worker: dict[int, list[int]] = {}
+        for index, (slot, _) in enumerate(requests):
+            per_worker.setdefault(slot % self.n_workers, []).append(index)
+
+        # Scatter: every worker gets its whole queue up front, so all
+        # workers compute concurrently while we gather sequentially.
+        for slot, indices in per_worker.items():
+            self._send_all(slot, [requests[i][1] for i in indices])
+
+        responses: list = [None] * len(requests)
+        failure: tuple | None = None
+        for slot, indices in per_worker.items():
+            answered = 0
+            attempts = 0
+            while answered < len(indices):
+                handle = self._workers[slot]
+                try:
+                    status, payload = handle.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died on the first unanswered request.
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise WorkerCrashError(
+                            f"shard killed worker slot {slot} "
+                            f"{attempts} times (request "
+                            f"{indices[answered]}); giving up"
+                        ) from None
+                    self._restart(slot)
+                    self._send_all(
+                        slot,
+                        [requests[i][1] for i in indices[answered:]],
+                    )
+                    continue
+                if status == "error" and failure is None:
+                    failure = payload
+                responses[indices[answered]] = (
+                    payload if status == "ok" else None
+                )
+                answered += 1
+                attempts = 0
+                self.shards_executed += 1
+        if failure is not None:
+            name, message, worker_traceback = failure
+            raise WorkerError(
+                f"worker raised {name}: {message}\n"
+                f"--- worker traceback ---\n{worker_traceback}"
+            )
+        return responses
+
+    def _send_all(
+        self, slot: int, messages: list, attempts: int = 0
+    ) -> None:
+        """Deliver a batch of unanswered messages to one worker.
+
+        Crash recovery must replay the **whole** batch, not the tail:
+        none of this batch's responses have been consumed yet, so work
+        the dead worker received is simply lost — and any responses it
+        buffered die with its pipe when :meth:`_restart` replaces it.
+        Replaying only the unsent suffix would desynchronize the
+        gather loop's response/request alignment (and hang it waiting
+        for replies that can never come).  Replays are bounded by
+        ``max_retries``, so a message that reliably kills workers on
+        delivery escalates instead of respawning forever.
+        """
+        handle = self._workers[slot]
+        if handle is None or not handle.alive():
+            handle = self._restart(slot)
+        for message in messages:
+            try:
+                handle.conn.send(message)
+            except (BrokenPipeError, OSError):
+                if attempts >= self.max_retries:
+                    raise WorkerCrashError(
+                        f"worker slot {slot} died {attempts + 1} times "
+                        f"during message delivery; giving up"
+                    ) from None
+                self._restart(slot)
+                self._send_all(slot, messages, attempts + 1)
+                return
+
+    # -- telemetry -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pool telemetry snapshot."""
+        return {
+            "workers": self.n_workers,
+            "alive": self.alive_workers(),
+            "restarts": self.restarts,
+            "shards_executed": self.shards_executed,
+            "closed": self._closed,
+            "backend": self.spec.describe(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool({self.spec.describe()}, "
+            f"workers={self.n_workers}, alive={self.alive_workers()})"
+        )

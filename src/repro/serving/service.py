@@ -40,6 +40,38 @@ from repro.serving.router import Router
 from repro.serving.scheduler import CoalescingScheduler, WorkItem
 
 
+def _shard_backends(
+    backends: Sequence[Backend], workers: int | None
+) -> tuple[list[Backend], list]:
+    """Wrap spec-able backends in ShardedBackend when workers are asked.
+
+    Returns the (possibly wrapped) pool plus the list of wrappers the
+    service now owns and must close on :meth:`ExecutionService.stop`.
+    ``workers=None`` defers to ``REPRO_WORKERS`` (see
+    :func:`repro.parallel.default_workers`); 0 disables sharding.
+    """
+    from repro.parallel import ShardedBackend, default_workers
+
+    if workers is None:
+        workers = default_workers()
+    # Clamp like the CLI does: anything below one worker means
+    # single-process, never a constructor error.
+    if max(0, int(workers)) == 0:
+        return list(backends), []
+    wrapped: list[Backend] = []
+    owned: list[ShardedBackend] = []
+    for backend in backends:
+        try:
+            sharded = ShardedBackend(backend, workers=workers)
+        except TypeError:
+            # Not a rebuildable simulator backend; route it unchanged.
+            wrapped.append(backend)
+        else:
+            wrapped.append(sharded)
+            owned.append(sharded)
+    return wrapped, owned
+
+
 class ServiceJob:
     """A client's asynchronous submission; resolves to execution results.
 
@@ -153,6 +185,17 @@ class ExecutionService:
         enable_cache: Master switch; the cache additionally requires
             every backend to be deterministic (exact mode).
         name: Service name (job-id prefix).
+        workers: Multi-process convenience: wrap every routed simulator
+            backend in a :class:`~repro.parallel.ShardedBackend` with
+            this many worker processes, so flushes execute sharded
+            across cores.  ``None`` (the default) reads
+            ``REPRO_WORKERS`` from the environment; ``0`` (or any
+            smaller value) keeps everything single-process.  Backends a worker replica
+            cannot be rebuilt from (custom ``Backend`` subclasses) are
+            routed unchanged.  A sharded wrapper adopts the wrapped
+            backend's meter, so callers keep observing usage on the
+            backend object they handed in; the service closes the
+            wrappers' pools in :meth:`stop`.
     """
 
     def __init__(
@@ -165,10 +208,12 @@ class ExecutionService:
         cache_capacity: int = 4096,
         enable_cache: bool = True,
         name: str = "svc",
+        workers: int | None = None,
     ):
         if isinstance(backends, Backend):
             backends = [backends]
         self.name = name
+        backends, self._sharded = _shard_backends(backends, workers)
         self.router = Router(backends, policy=policy)
         # The intake queue itself is unbounded: _admit() already bounds
         # every circuit in the pipeline (queue included), and a second
@@ -223,6 +268,8 @@ class ExecutionService:
             self._pending_cond.notify_all()
         if started:
             self.scheduler.join()
+        for backend in self._sharded:
+            backend.close()
 
     def __enter__(self) -> "ExecutionService":
         return self.start()

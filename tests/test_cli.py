@@ -48,6 +48,26 @@ class TestTrainCommand:
         with pytest.raises(SystemExit):
             main(["train", "--task", "cifar"])
 
+    def test_train_with_worker_pool(self, tmp_path, capsys):
+        """--workers shards training and the saved run keeps its meter."""
+        path = tmp_path / "run.json"
+        code = main([
+            "train", "--task", "mnist2", "--device", "ibmq_lima",
+            "--steps", "2", "--batch-size", "2", "--shots", "128",
+            "--eval-size", "8", "--seed", "3", "--quiet",
+            "--workers", "2", "--save", str(path),
+        ])
+        assert code == 0
+        _, _, history, metadata = load_run(path)
+        assert metadata["backend"] == "ibmq_lima"
+        assert metadata["workers"] == 2
+        meter = metadata["meter"]
+        assert meter["circuits"] == history.steps[-1].inferences + (
+            meter["by_purpose"].get("validation", 0)
+        )
+        assert meter["by_purpose"]["forward"] > 0
+        assert meter["by_purpose"]["gradient"] > 0
+
 
 class TestOtherCommands:
     def test_characterize(self, capsys):
@@ -88,6 +108,14 @@ class TestOtherCommands:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
 
     def test_module_entry_point(self):
         """``python -m repro draw`` works end to end."""

@@ -168,3 +168,41 @@ class TestRunSerialization:
         path.write_text(payload)
         with pytest.raises(ValueError, match="version"):
             load_run(path)
+
+    def test_save_run_records_meter_snapshot(self, tmp_path):
+        from repro.hardware import CircuitRunMeter
+
+        meter = CircuitRunMeter()
+        meter.record(12, 12 * 1024, "forward")
+        meter.record(96, 96 * 1024, "gradient")
+        path = tmp_path / "run.json"
+        save_run(path, TrainingConfig(task="mnist2"), np.zeros(8),
+                 self.make_history(), meter=meter)
+        _, _, _, metadata = load_run(path)
+        assert metadata["meter"] == meter.snapshot()
+        assert metadata["meter"]["by_purpose"] == {
+            "forward": 12, "gradient": 96,
+        }
+        assert metadata["meter"]["shots_by_purpose"] == {
+            "forward": 12 * 1024, "gradient": 96 * 1024,
+        }
+
+    def test_save_run_accepts_snapshot_dict(self, tmp_path):
+        snapshot = {
+            "circuits": 3, "shots": 0,
+            "by_purpose": {"run": 3}, "shots_by_purpose": {"run": 0},
+        }
+        path = tmp_path / "run.json"
+        save_run(path, TrainingConfig(task="mnist2"), np.zeros(8),
+                 self.make_history(), meter=snapshot)
+        _, _, _, metadata = load_run(path)
+        assert metadata["meter"] == snapshot
+
+    def test_load_run_backward_compatible_without_meter(self, tmp_path):
+        """Payloads predating the meter field load unchanged."""
+        path = tmp_path / "run.json"
+        save_run(path, TrainingConfig(task="mnist2"), np.zeros(8),
+                 self.make_history(), metadata={"note": "old"})
+        _, _, _, metadata = load_run(path)
+        assert "meter" not in metadata
+        assert metadata == {"note": "old"}
