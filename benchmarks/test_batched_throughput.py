@@ -55,7 +55,11 @@ def time_step(batched: bool) -> tuple[float, int]:
     best = np.inf
     circuits_run = 0
     for _ in range(ROUNDS):
-        backend = IdealBackend(exact=True, batched=batched)
+        # fused=False on both sides: this benchmark isolates the
+        # batching layer (PR 1); the compiled-plan layer accelerates
+        # the sequential baseline too and is measured separately in
+        # test_fused_throughput.py.
+        backend = IdealBackend(exact=True, batched=batched, fused=False)
         start = time.perf_counter()
         training_step(backend, circuits)
         best = min(best, time.perf_counter() - start)

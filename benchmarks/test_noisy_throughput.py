@@ -49,8 +49,12 @@ def build_sweep_circuits() -> list[QuantumCircuit]:
 
 
 def make_backend(batched: bool) -> NoisyBackend:
+    # fused=False on both sides: this benchmark isolates the batching
+    # layer's contribution (PR 3), so the compiled-plan layer — which
+    # accelerates the sequential baseline too — is pinned off.  The
+    # fused layer has its own benchmark in test_fused_throughput.py.
     return NoisyBackend.from_device_name(
-        DEVICE, seed=0, batched=batched
+        DEVICE, seed=0, batched=batched, fused=False
     )
 
 

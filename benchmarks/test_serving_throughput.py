@@ -56,7 +56,13 @@ def run_clients(client) -> float:
 
 def time_direct(workloads) -> tuple[float, list[list]]:
     """Each client drives its own synchronous backend, one run per circuit."""
-    backends = [IdealBackend(exact=True) for _ in range(N_CLIENTS)]
+    # fused=False on both sides of this benchmark: it isolates the
+    # serving layer's coalescing/caching win (PR 2); the compiled-plan
+    # layer accelerates the per-circuit direct baseline dramatically
+    # and is measured by its own test_fused_throughput.py.
+    backends = [
+        IdealBackend(exact=True, fused=False) for _ in range(N_CLIENTS)
+    ]
     collected: list[list] = [None] * N_CLIENTS
 
     def client(index):
@@ -82,7 +88,7 @@ def time_service(workloads) -> tuple[float, list[list], dict]:
     stats = None
     for _ in range(ROUNDS):
         service = ExecutionService(
-            IdealBackend(exact=True),
+            IdealBackend(exact=True, fused=False),
             max_batch_size=256,
             max_delay_s=0.002,
         )

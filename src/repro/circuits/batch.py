@@ -44,7 +44,11 @@ class CircuitBatch:
             raise ValueError("CircuitBatch needs at least one circuit")
         signature = circuits[0].structure_signature()
         for circuit in circuits[1:]:
-            if circuit.structure_signature() != signature:
+            other = circuit.structure_signature()
+            # Clones propagate the cached signature tuple, so the
+            # common case is object identity — skip the deep tuple
+            # comparison for them.
+            if other is not signature and other != signature:
                 raise ValueError(
                     "all circuits in a CircuitBatch must share one "
                     "structure signature"
@@ -61,29 +65,70 @@ class CircuitBatch:
         self._stack_angles()
 
     def _stack_angles(self) -> None:
-        rows = [c.templates for c in self.circuits]
-        thetas = [c.parameters for c in self.circuits]
-        for pos, template in enumerate(self.templates):
+        # One vectorized resolution pass for every single-parameter op:
+        # a (B, n_ops) matrix holds, per circuit, the op's literal angle
+        # or shift offset; trainable columns then add the bound theta
+        # entries in one fancy-indexed assignment.  Multi-parameter ops
+        # (only u3 in the registry) fall back to a per-op gather.  The
+        # arithmetic — float64 "theta[i] + offset" — is element-for-
+        # element the same as the old per-circuit resolution, so the
+        # stacked values stay bit-identical.
+        templates = self.templates
+        rows = [c._templates for c in self.circuits]
+        # Clones share template objects except where they were edited
+        # (a parameter shift touches one position), so resolve the
+        # reference row once and patch only non-identical templates —
+        # and only single-parameter positions carry a value at all.
+        reference = rows[0]
+        single = [
+            pos
+            for pos, t in enumerate(templates)
+            if t.param_index is not None or len(t.params) == 1
+        ]
+        ref_values = [
+            reference[pos].offset
+            if reference[pos].param_index is not None
+            else reference[pos].params[0]
+            for pos in single
+        ]
+        packed = np.tile(ref_values, (len(rows), 1))
+        for index, row in enumerate(rows[1:], 1):
+            for column, pos in enumerate(single):
+                t = row[pos]
+                if t is not reference[pos]:
+                    packed[index, column] = (
+                        t.offset
+                        if t.param_index is not None
+                        else t.params[0]
+                    )
+        base = np.zeros((len(rows), len(templates)), dtype=np.float64)
+        base[:, single] = packed
+        trainable = [
+            pos
+            for pos, t in enumerate(templates)
+            if t.param_index is not None
+        ]
+        if trainable:
+            thetas = np.stack([c._parameters for c in self.circuits])
+            indices = [templates[pos].param_index for pos in trainable]
+            base[:, trainable] += thetas[:, indices]
+        uniform = np.all(base == base[0:1], axis=0)
+        for pos, template in enumerate(templates):
             # Parameterless op: no literal params and no trainable slot.
             if template.param_index is None and not template.params:
                 self._op_params.append(None)
                 self._op_uniform.append(True)
                 continue
-            if template.param_index is None:
-                # Fixed angles live in each circuit's own template copy.
+            if template.param_index is None and len(template.params) != 1:
+                # Multi-parameter fixed op: gather the full tuples.
                 values = np.array(
                     [row[pos].params for row in rows], dtype=np.float64
                 )
-            else:
-                values = np.array(
-                    [
-                        [theta[row[pos].param_index] + row[pos].offset]
-                        for row, theta in zip(rows, thetas)
-                    ],
-                    dtype=np.float64,
-                )
-            self._op_params.append(values)
-            self._op_uniform.append(bool(np.all(values == values[0])))
+                self._op_params.append(values)
+                self._op_uniform.append(bool(np.all(values == values[0])))
+                continue
+            self._op_params.append(base[:, pos : pos + 1])
+            self._op_uniform.append(bool(uniform[pos]))
 
     # -- queries ---------------------------------------------------------
 
@@ -131,18 +176,34 @@ def group_by_structure(
 ) -> list[tuple[list[int], list[QuantumCircuit]]]:
     """Partition circuits into same-structure groups, keeping positions.
 
+    Buckets on the cached integer :meth:`~QuantumCircuit.structure_key`
+    (hashing a deep signature tuple per dict operation dominated
+    grouping cost for large sweeps) and confirms membership on the full
+    signature within a bucket — clones share the cached signature
+    object, so that check is usually pointer identity.
+
     Returns:
         One ``(positions, members)`` pair per distinct structure, in
         first-appearance order; ``positions`` are indices into the input
         sequence so callers can scatter per-group results back into
         submission order.
     """
-    groups: dict[tuple, tuple[list[int], list[QuantumCircuit]]] = {}
+    buckets: dict[int, list[tuple]] = {}
+    order: list[tuple[list[int], list[QuantumCircuit]]] = []
     for position, circuit in enumerate(circuits):
+        key = circuit.structure_key()
         signature = circuit.structure_signature()
-        if signature not in groups:
-            groups[signature] = ([], [])
-        positions, members = groups[signature]
+        entry = None
+        for candidate in buckets.setdefault(key, []):
+            candidate_sig = candidate[0]
+            if candidate_sig is signature or candidate_sig == signature:
+                entry = candidate
+                break
+        if entry is None:
+            entry = (signature, ([], []))
+            buckets[key].append(entry)
+            order.append(entry[1])
+        positions, members = entry[1]
         positions.append(position)
         members.append(circuit)
-    return list(groups.values())
+    return order

@@ -36,6 +36,8 @@ class QuantumCircuit:
         self._templates: list[OpTemplate] = []
         self._parameters = np.zeros(int(num_parameters), dtype=np.float64)
         self._structure: tuple | None = None
+        self._structure_hash: int | None = None
+        self._occurrences: dict[int, list[int]] | None = None
 
     # -- building -------------------------------------------------------
 
@@ -49,6 +51,8 @@ class QuantumCircuit:
             OpTemplate(name=name, wires=tuple(wires), params=tuple(params))
         )
         self._structure = None
+        self._structure_hash = None
+        self._occurrences = None
         return self
 
     def add_trainable(
@@ -65,6 +69,8 @@ class QuantumCircuit:
         )
         self._templates.append(template)
         self._structure = None
+        self._structure_hash = None
+        self._occurrences = None
         if param_index >= self._parameters.size:
             grown = np.zeros(param_index + 1, dtype=np.float64)
             grown[: self._parameters.size] = self._parameters
@@ -75,6 +81,8 @@ class QuantumCircuit:
         """Append a pre-built template (grows the parameter vector)."""
         self._templates.append(template)
         self._structure = None
+        self._structure_hash = None
+        self._occurrences = None
         if (
             template.param_index is not None
             and template.param_index >= self._parameters.size
@@ -113,11 +121,19 @@ class QuantumCircuit:
         return out
 
     def copy(self) -> "QuantumCircuit":
-        """Deep copy (templates and parameter vector)."""
-        out = QuantumCircuit(self.n_qubits, self.num_parameters)
+        """Deep copy (templates and parameter vector).
+
+        Bypasses ``__init__`` — every field is taken from ``self``
+        (already validated), and the gradient engines mint thousands of
+        copies per training step.
+        """
+        out = object.__new__(QuantumCircuit)
+        out.n_qubits = self.n_qubits
         out._templates = list(self._templates)
         out._parameters = self._parameters.copy()
         out._structure = self._structure
+        out._structure_hash = self._structure_hash
+        out._occurrences = self._occurrences
         return out
 
     # -- parameters -----------------------------------------------------
@@ -217,22 +233,34 @@ class QuantumCircuit:
         return _fingerprint.circuit_fingerprint(self)
 
     def structure_key(self) -> int:
-        """Hash of :meth:`structure_signature`.
+        """Hash of :meth:`structure_signature` (cached).
 
         A compact fingerprint for logging and quick same-structure
-        checks.  Grouping must key on the full
-        :meth:`structure_signature` tuple (as ``group_by_structure``
-        does) — an int hash can collide.
+        checks.  Tuples do not cache their hash, so this memoizes it —
+        ``group_by_structure`` buckets by this key first and only
+        falls back to comparing full signatures within a bucket (an
+        int hash can collide).
         """
-        return hash(self.structure_signature())
+        if self._structure_hash is None:
+            self._structure_hash = hash(self.structure_signature())
+        return self._structure_hash
 
     def occurrences_of(self, param_index: int) -> list[int]:
-        """Positions of all gates that consume parameter ``param_index``."""
-        return [
-            pos
-            for pos, template in enumerate(self._templates)
-            if template.param_index == param_index
-        ]
+        """Positions of all gates that consume parameter ``param_index``.
+
+        The full parameter -> positions map is built once and cached
+        with the structure (the parameter-shift engine queries every
+        selected parameter per step); building ops invalidate it.
+        """
+        if self._occurrences is None:
+            occurrences: dict[int, list[int]] = {}
+            for pos, template in enumerate(self._templates):
+                if template.param_index is not None:
+                    occurrences.setdefault(
+                        template.param_index, []
+                    ).append(pos)
+            self._occurrences = occurrences
+        return list(self._occurrences.get(int(param_index), ()))
 
     def shifted(self, position: int, delta: float) -> "QuantumCircuit":
         """Copy of the circuit with gate at ``position`` angle-shifted.
@@ -241,6 +269,10 @@ class QuantumCircuit:
         distinction matters when a parameter appears in several gates
         (Sec. 3.1: per-gate gradients are summed).
         """
+        # Warm the signature cache first so the clone inherits it — a
+        # shift changes an offset, never the structure, and grouping
+        # then compares clones by cached-object identity.
+        self.structure_signature()
         out = self.copy()
         out._templates[position] = out._templates[position].shifted(delta)
         return out

@@ -78,10 +78,23 @@ class OpTemplate:
         return self.param_index is not None
 
     def shifted(self, delta: float) -> "OpTemplate":
-        """Return a copy with ``offset`` increased by ``delta``."""
+        """Return a copy with ``offset`` increased by ``delta``.
+
+        Built without re-running ``__post_init__`` — every field except
+        the offset is taken, already normalized and validated, from
+        ``self``.  The parameter-shift engine mints two clones per
+        selected parameter per step, so this sits on the training hot
+        path.
+        """
         if self.param_index is None:
             raise ValueError("cannot shift a fixed operation")
-        return dataclasses.replace(self, offset=self.offset + delta)
+        clone = object.__new__(OpTemplate)
+        object.__setattr__(clone, "name", self.name)
+        object.__setattr__(clone, "wires", self.wires)
+        object.__setattr__(clone, "params", self.params)
+        object.__setattr__(clone, "param_index", self.param_index)
+        object.__setattr__(clone, "offset", self.offset + delta)
+        return clone
 
 
 @dataclasses.dataclass(frozen=True)

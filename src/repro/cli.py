@@ -342,6 +342,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"  backend {entry['name']}: "
               f"{entry['dispatched_batches']} batches, "
               f"{entry['dispatched_circuits']} circuits")
+    from repro.parallel import default_workers
+
+    effective_workers = (
+        default_workers() if args.workers is None else args.workers
+    )
+    if effective_workers:
+        # Sharded execution compiles and caches plans inside each
+        # worker-process replica; the facade backends here never
+        # execute, so their caches would misreport 0/0.
+        print(f"  plan caches: per worker-process replica "
+              f"({effective_workers} workers; not aggregated)")
+        return 0
+    for index, backend in enumerate(pool):
+        plan_cache = getattr(backend, "plan_cache", None)
+        if plan_cache is None:
+            continue
+        entry = plan_cache.stats()
+        print(f"  plan cache [{index}] {backend.name}: "
+              f"{entry['hits']} hits / {entry['misses']} misses "
+              f"(hit rate {entry['hit_rate']:.1%}, "
+              f"{entry['size']} plans)")
+        transpile_cache = getattr(backend, "transpile_cache", None)
+        if transpile_cache is not None:
+            entry = transpile_cache.stats()
+            print(f"  transpile cache [{index}] {backend.name}: "
+                  f"{entry['hits']} hits / {entry['misses']} misses "
+                  f"(hit rate {entry['hit_rate']:.1%})")
     return 0
 
 

@@ -70,6 +70,12 @@ def build_shifted_circuits(
         ``[plus, minus, plus, minus, ...]`` and ``index_map[k]`` is the
         ``(param_index, occurrence_position)`` the k-th *pair* belongs to.
     """
+    # Warm the structure-signature cache before cloning: every shifted
+    # clone then inherits the cached tuple (a shift never changes the
+    # structure), so downstream grouping and batching compare
+    # signatures by object identity instead of recomputing them per
+    # clone.
+    circuit.structure_signature()
     circuits = []
     index_map: list[tuple[int, int]] = []
     for index in param_indices:

@@ -31,6 +31,17 @@ the seeded RNG stream per circuit in group order (identical to
 sequential execution for single-structure submissions).  Either backend
 accepts ``batched=False`` to force the sequential per-circuit loop.
 
+Compiled execution plans
+------------------------
+By default (``fused=True``, escape hatch ``REPRO_FUSED=0``) both
+simulator backends additionally *compile* each circuit structure once
+into a fused :class:`~repro.sim.compile.ExecutionPlan` — gate fusion,
+constant folding, diagonal/permutation kernels, precomposed per-wire
+noise superoperators — cached per structure signature in
+``backend.plan_cache``.  Fused results match the per-gate walk within
+1e-10 (and remain deterministic per seed); ``fused=False`` restores the
+bit-identical per-gate path.  See :mod:`repro.sim.compile`.
+
 Multi-process execution
 -----------------------
 Both backends are single-process; :mod:`repro.parallel` scales past one
@@ -51,6 +62,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.circuits.batch import CircuitBatch, group_by_structure
+from repro.sim import compile as _compile
 from repro.sim import measurement as _measurement
 from repro.sim.batched import BatchedStatevector
 from repro.sim.statevector import Statevector
@@ -300,6 +312,14 @@ class Backend(abc.ABC):
                 so the hot path does not pay the structural checks
                 twice.
 
+        On the batched path, validation runs **once per structure
+        group** rather than once per circuit: every structural check
+        (gate names, wire ranges, parameter-slot usage) is a function
+        of the structure signature and the parameter-vector length, so
+        a group representative plus a per-member length comparison
+        covers the whole group — a parameter-shift sweep validates its
+        thousands of clones at the cost of one.
+
         ``shots=0`` is accepted exactly when the backend's execution is
         exact (:meth:`exact_execution`) — such backends ignore the shot
         count and report ``shots=0`` results anyway, so rejecting an
@@ -312,12 +332,24 @@ class Backend(abc.ABC):
                 "backends whose execution is exact)"
             )
         circuits = list(circuits)
-        if validate:
-            for circuit in circuits:
-                circuit.validate()
         if self.supports_batching() and len(circuits) > 1:
+            groups = group_by_structure(circuits)
+            if validate:
+                for _, members in groups:
+                    representative = members[0]
+                    representative.validate()
+                    for member in members[1:]:
+                        # A valid circuit's parameter count is fixed by
+                        # its structure; a mismatch means this member
+                        # has unused parameters — let its own
+                        # validation report it.
+                        if (
+                            member.num_parameters
+                            != representative.num_parameters
+                        ):
+                            member.validate()
             results: list[ExecutionResult | None] = [None] * len(circuits)
-            for positions, members in group_by_structure(circuits):
+            for positions, members in groups:
                 group_results = self._execute_batch(members, shots)
                 if len(group_results) != len(members):
                     raise RuntimeError(
@@ -328,6 +360,9 @@ class Backend(abc.ABC):
                 for position, result in zip(positions, group_results):
                     results[position] = result
         else:
+            if validate:
+                for circuit in circuits:
+                    circuit.validate()
             results = [self._execute(circuit, shots) for circuit in circuits]
         self._record_run(
             len(circuits), sum(r.shots for r in results), purpose
@@ -388,6 +423,14 @@ class IdealBackend(Backend):
         seed: Sampler seed.
         batched: Disable to force the sequential per-circuit loop
             (benchmark baseline and equivalence testing).
+        fused: Execute through compiled :class:`~repro.sim.compile.
+            ExecutionPlan` objects — gate fusion, constant folding, and
+            diagonal/permutation kernels — cached per structure in
+            :attr:`plan_cache`.  ``None`` (default) resolves the
+            ``REPRO_FUSED`` environment toggle (on unless ``0``).
+            ``fused=False`` keeps the bit-identical per-gate seed path;
+            fused results match it within 1e-10.
+        plan_cache_size: LRU capacity of :attr:`plan_cache`.
     """
 
     def __init__(
@@ -395,11 +438,27 @@ class IdealBackend(Backend):
         exact: bool = True,
         seed: int | None = None,
         batched: bool = True,
+        fused: bool | None = None,
+        plan_cache_size: int = 128,
     ):
         super().__init__(seed=seed)
         self.exact = bool(exact)
         self.batched = bool(batched)
+        self.fused = (
+            _compile.fused_enabled() if fused is None else bool(fused)
+        )
+        #: Structure-keyed LRU of compiled statevector plans.
+        self.plan_cache = _compile.PlanCache(plan_cache_size)
         self.name = "ideal" if exact else "ideal_sampled"
+
+    def _plan_for(self, circuit) -> "_compile.ExecutionPlan | None":
+        """The cached fused plan for a circuit's structure (or None)."""
+        if not self.fused:
+            return None
+        return self.plan_cache.get_or_compile(
+            circuit.structure_signature(),
+            lambda: _compile.compile_circuit(circuit, mode="statevector"),
+        )
 
     def supports_batching(self) -> bool:
         return self.batched
@@ -411,7 +470,9 @@ class IdealBackend(Backend):
         return self.exact
 
     def _execute(self, circuit, shots: int) -> ExecutionResult:
-        state = Statevector(circuit.n_qubits).evolve(circuit)
+        state = Statevector(circuit.n_qubits).evolve(
+            circuit, plan=self._plan_for(circuit)
+        )
         if self.exact:
             expectations = np.asarray(state.expectation_z(), dtype=np.float64)
             return ExecutionResult(
@@ -427,7 +488,9 @@ class IdealBackend(Backend):
 
     def _execute_batch(self, circuits, shots: int) -> list[ExecutionResult]:
         batch = CircuitBatch(circuits)
-        state = BatchedStatevector(batch.n_qubits, batch.size).evolve(batch)
+        state = BatchedStatevector(batch.n_qubits, batch.size).evolve(
+            batch, plan=self._plan_for(circuits[0])
+        )
         if self.exact:
             expectations = state.expectation_z()
             return [
@@ -436,14 +499,22 @@ class IdealBackend(Backend):
                 )
                 for row in range(batch.size)
             ]
-        counts_list = state.sample_counts(shots, rng=self._rng)
+        # Sample and read out from the outcome matrix directly: the
+        # per-row expectations are computed with one vectorized pass
+        # (bit-identical to expectation_z_from_counts on each row's
+        # counts dict — see expectation_z_from_outcome_matrix).
+        outcomes = _measurement.sample_outcome_matrix(
+            state.probabilities(), shots, self._rng
+        )
+        counts_list = _measurement.outcome_matrix_to_counts(outcomes)
+        expectations = _measurement.expectation_z_from_outcome_matrix(
+            outcomes
+        )
         return [
             ExecutionResult(
                 counts=counts,
-                expectations=_measurement.expectation_z_from_counts(
-                    counts, batch.n_qubits
-                ),
+                expectations=expectations[row].copy(),
                 shots=shots,
             )
-            for counts in counts_list
+            for row, counts in enumerate(counts_list)
         ]

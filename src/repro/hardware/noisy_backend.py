@@ -47,6 +47,7 @@ from repro.circuits.transpile import transpile as _transpile
 from repro.hardware.backend import Backend, ExecutionResult
 from repro.noise.calibration import DeviceCalibration, get_calibration
 from repro.noise.model import NoiseModel
+from repro.sim import compile as _compile
 from repro.sim import measurement as _measurement
 from repro.sim.batched_density import BatchedDensityMatrix
 from repro.sim.density import DensityMatrix
@@ -63,6 +64,17 @@ class NoisyBackend(Backend):
         include_coherent: Include the systematic over-rotation term.
         batched: Disable to force the sequential per-circuit loop
             (benchmark baseline and equivalence testing).
+        fused: Execute through compiled :class:`~repro.sim.compile.
+            ExecutionPlan` objects — unitary fusion between noise
+            insertion points, precomposed per-wire channel
+            superoperators, diagonal/permutation kernels — cached per
+            post-transpile structure in :attr:`plan_cache`.  ``None``
+            (default) resolves the ``REPRO_FUSED`` environment toggle;
+            ``fused=False`` keeps the bit-identical per-gate seed path
+            (fused observed distributions match it within 1e-10).
+        plan_cache_size: LRU capacity of :attr:`plan_cache`.
+        transpile_cache_size: LRU capacity of :attr:`transpile_cache`
+            (used only with ``transpile=True``).
     """
 
     def __init__(
@@ -73,18 +85,32 @@ class NoisyBackend(Backend):
         noise_scale: float = 1.0,
         include_coherent: bool = True,
         batched: bool = True,
+        fused: bool | None = None,
+        plan_cache_size: int = 128,
+        transpile_cache_size: int = 256,
     ):
         super().__init__(seed=seed)
         self.calibration = calibration
         self.name = calibration.name
         self.transpile = bool(transpile)
         self.batched = bool(batched)
+        self.fused = (
+            _compile.fused_enabled() if fused is None else bool(fused)
+        )
         self.noise_model = NoiseModel(
             calibration,
             level="physical" if transpile else "logical",
             scale=noise_scale,
             include_coherent=include_coherent,
         )
+        #: Structure-keyed LRU of compiled density plans.  Plans embed
+        #: this backend's (immutable) noise model, so the cache is valid
+        #: for the backend's lifetime.
+        self.plan_cache = _compile.PlanCache(plan_cache_size)
+        #: Fingerprint-keyed LRU of ``(physical_circuit, final_layout)``
+        #: transpilation results — ``transpile=True`` used to re-route
+        #: and re-decompose identical circuits on every submission.
+        self.transpile_cache = _compile.PlanCache(transpile_cache_size)
 
     @classmethod
     def from_device_name(cls, name: str, **kwargs) -> "NoisyBackend":
@@ -97,15 +123,45 @@ class NoisyBackend(Backend):
     # -- execution --------------------------------------------------------
 
     def _prepare(self, circuit):
-        """Transpile if configured; returns (circuit, logical->wire map)."""
+        """Transpile if configured; returns (circuit, logical->wire map).
+
+        Transpilation results are cached by :meth:`~repro.circuits.
+        QuantumCircuit.fingerprint` (structure *and* angle values — a
+        routed circuit bakes resolved angles into its decomposition), so
+        resubmitting an identical circuit never re-routes.  The cached
+        physical circuit is shared between hits; downstream execution
+        treats circuits as read-only.
+        """
         if not self.transpile:
             return circuit, tuple(range(circuit.n_qubits))
+        key = circuit.fingerprint()
+        cached = self.transpile_cache.get(key)
+        if cached is not None:
+            return cached
         result = _transpile(
             circuit,
             self.calibration.coupling_map,
             self.calibration.n_qubits,
         )
-        return result.circuit, result.final_layout
+        prepared = (result.circuit, result.final_layout)
+        self.transpile_cache.put(key, prepared)
+        return prepared
+
+    def _plan_for(self, physical) -> "_compile.ExecutionPlan | None":
+        """Cached fused density plan for a *post-transpile* circuit.
+
+        Keyed by the physical circuit's structure signature; the noise
+        model (and, through it, the logical/physical channel level) is
+        fixed per backend, so it never enters the key.
+        """
+        if not self.fused:
+            return None
+        return self.plan_cache.get_or_compile(
+            physical.structure_signature(),
+            lambda: _compile.compile_circuit(
+                physical, mode="density", noise_model=self.noise_model
+            ),
+        )
 
     def _observed_from_physical(self, rho_probs, physical_qubits, layout,
                                 logical_qubits):
@@ -129,7 +185,11 @@ class NoisyBackend(Backend):
         """
         physical, layout = self._prepare(circuit)
         rho = DensityMatrix(physical.n_qubits)
-        rho.evolve(physical, noise_model=self.noise_model)
+        rho.evolve(
+            physical,
+            noise_model=self.noise_model,
+            plan=self._plan_for(physical),
+        )
         return self._observed_from_physical(
             rho.probabilities(), physical.n_qubits, layout, circuit.n_qubits
         )
@@ -172,7 +232,11 @@ class NoisyBackend(Backend):
             layout = prepared[indices[0]][1]
             batch = CircuitBatch(physicals)
             rho = BatchedDensityMatrix(batch.n_qubits, batch.size)
-            rho.evolve(batch, noise_model=self.noise_model)
+            rho.evolve(
+                batch,
+                noise_model=self.noise_model,
+                plan=self._plan_for(physicals[0]),
+            )
             confusions = self.noise_model.readout_confusions(batch.n_qubits)
             probs = _measurement.apply_readout_error_batch(
                 rho.probabilities(), confusions
@@ -209,19 +273,20 @@ class NoisyBackend(Backend):
         sequential loop.
         """
         probs = self.observed_probabilities_batch(circuits)
-        counts_list = _measurement.sample_counts_batch(
+        outcomes = _measurement.sample_outcome_matrix(
             probs, shots, self._rng
         )
-        n_qubits = circuits[0].n_qubits
+        counts_list = _measurement.outcome_matrix_to_counts(outcomes)
+        expectations = _measurement.expectation_z_from_outcome_matrix(
+            outcomes
+        )
         return [
             ExecutionResult(
                 counts=counts,
-                expectations=_measurement.expectation_z_from_counts(
-                    counts, n_qubits
-                ),
+                expectations=expectations[row].copy(),
                 shots=shots,
             )
-            for counts in counts_list
+            for row, counts in enumerate(counts_list)
         ]
 
     def exact_expectations(self, circuit) -> np.ndarray:

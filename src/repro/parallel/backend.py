@@ -94,6 +94,7 @@ class ShardedBackend(Backend):
             self.workers,
             min_shard_cost=min_shard_cost,
             density=spec.kind == "noisy",
+            fused=spec.fused,
         )
         self.pool = WorkerPool(
             spec, self.workers, max_retries=max_retries

@@ -35,7 +35,7 @@ import numpy as np
 from repro.scaling import cost_model
 
 
-def circuit_cost(circuit, density: bool = False) -> float:
+def circuit_cost(circuit, density: bool = False, plan=None) -> float:
     """Estimated flops to simulate one circuit once.
 
     Uses :func:`repro.scaling.cost_model.classical_ops` with the
@@ -43,13 +43,23 @@ def circuit_cost(circuit, density: bool = False) -> float:
     workload (single-qubit gates as rotations, multi-qubit gates as
     RZZ-class ops).  Density-matrix evolution touches ``2^n`` times
     more amplitudes than a statevector, hence the ``density`` factor.
+
+    When the executing backend runs compiled fused plans, pass the
+    circuit structure's :class:`~repro.sim.compile.ExecutionPlan` —
+    the estimate then counts the plan's actual fused GEMM / diagonal /
+    permutation steps (:meth:`~repro.sim.compile.ExecutionPlan.
+    cost_ops`) instead of one GEMM per source gate, which keeps shard
+    sizing accurate under fusion.
     """
-    single = sum(1 for t in circuit.templates if len(t.wires) == 1)
-    multi = len(circuit.templates) - single
-    workload = cost_model.CircuitWorkload(
-        n_rotation_gates=single, n_rzz_gates=multi, n_circuits=1
-    )
-    cost = cost_model.classical_ops(circuit.n_qubits, workload)
+    if plan is not None:
+        cost = plan.cost_ops()
+    else:
+        single = sum(1 for t in circuit.templates if len(t.wires) == 1)
+        multi = len(circuit.templates) - single
+        workload = cost_model.CircuitWorkload(
+            n_rotation_gates=single, n_rzz_gates=multi, n_circuits=1
+        )
+        cost = cost_model.classical_ops(circuit.n_qubits, workload)
     if density:
         cost *= 2.0 ** circuit.n_qubits
     return cost
@@ -88,6 +98,14 @@ class ShardPlanner:
             chunks (useful for equivalence tests).
         density: Cost circuits as density-matrix evolutions (the noisy
             backend) rather than statevector ones.
+        fused: The worker replicas execute compiled fused plans
+            (:mod:`repro.sim.compile`) — cost each structure by its
+            plan's fused step sequence rather than one GEMM per gate,
+            so a heavily-fused structure is not over-costed (and
+            therefore over-split) by the per-gate model.  Costing
+            plans are compiled (without a noise model — channel
+            structure does not change how many circuits are worth one
+            pipe round-trip) and cached per structure signature.
     """
 
     #: Default split floor: ~a few hundred microseconds of NumPy work,
@@ -99,6 +117,7 @@ class ShardPlanner:
         n_workers: int,
         min_shard_cost: float | None = None,
         density: bool = False,
+        fused: bool = False,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -111,6 +130,21 @@ class ShardPlanner:
         if self.min_shard_cost < 0:
             raise ValueError("min_shard_cost cannot be negative")
         self.density = bool(density)
+        self.fused = bool(fused)
+        from repro.sim import compile as _compile
+
+        self._plan_cache = _compile.PlanCache(maxsize=256)
+
+    def _costing_plan(self, circuit):
+        """Cached fused plan of a structure, for costing only."""
+        if not self.fused:
+            return None
+        from repro.sim import compile as _compile
+
+        return self._plan_cache.get_or_compile(
+            circuit.structure_signature(),
+            lambda: _compile.compile_circuit(circuit, mode="statevector"),
+        )
 
     def n_shards(self, circuits: Sequence) -> int:
         """How many chunks one same-structure group is worth."""
@@ -120,7 +154,9 @@ class ShardPlanner:
         # Same structure => same per-circuit cost; estimate from the
         # first member.
         group_cost = group_size * circuit_cost(
-            circuits[0], density=self.density
+            circuits[0],
+            density=self.density,
+            plan=self._costing_plan(circuits[0]),
         )
         if self.min_shard_cost > 0:
             affordable = max(1, int(group_cost // self.min_shard_cost))

@@ -61,6 +61,46 @@ def classical_ops(
     return workload.n_circuits * per_circuit
 
 
+def kqubit_gate_ops(n_qubits: int, k: int) -> float:
+    """Floating-point ops of one ``k``-qubit GEMM application.
+
+    Generalizes the single-qubit term of :func:`classical_ops` — a
+    ``k``-qubit gate contracts a ``2^k x 2^k`` matrix against
+    ``2^n / 2^k`` amplitude groups, and each doubling of the matrix
+    side doubles the flops per amplitude — so fused multi-qubit blocks
+    are costed consistently with the per-gate model (``k=1``
+    reproduces ``classical_ops``'s ``per_rotation`` term exactly).
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    if k < 1:
+        raise ValueError("gates act on at least one qubit")
+    return 7.0 * (2.0 ** (k - 1)) * 2.0**n_qubits
+
+
+def diag_gate_ops(n_qubits: int) -> float:
+    """Flops of one diagonal-kernel application (elementwise phases).
+
+    Matches the RZZ term of :func:`classical_ops` — the seed model
+    already costed RZZ as a diagonal pass; the fused execution plans
+    (:mod:`repro.sim.compile`) make that the actual kernel.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    return 6.0 * 2.0**n_qubits
+
+
+def permutation_gate_ops(n_qubits: int) -> float:
+    """Cost of one permutation-kernel application (an index gather).
+
+    No arithmetic, but every amplitude moves; costed at two scalar
+    register transfers per amplitude.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    return 2.0 * 2.0**n_qubits
+
+
 def quantum_registers(n_qubits: int) -> float:
     """Physical registers on a quantum device: the ``n`` qubits."""
     if n_qubits < 1:

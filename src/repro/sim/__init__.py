@@ -1,13 +1,30 @@
-"""Quantum state simulation substrate (statevector + density matrix)."""
+"""Quantum state simulation substrate (statevector + density matrix).
+
+Four engines (``Statevector`` / ``BatchedStatevector`` /
+``DensityMatrix`` / ``BatchedDensityMatrix``) share one gate library
+(:mod:`~repro.sim.gates`), one set of tensor kernels
+(:mod:`~repro.sim.apply`), and one compilation layer
+(:mod:`~repro.sim.compile`): a circuit *structure* lowers once into a
+fused :class:`~repro.sim.compile.ExecutionPlan` (gate fusion, constant
+folding, diagonal/permutation kernels, precomposed noise
+superoperators) that every engine can replay via ``evolve(...,
+plan=...)`` — within 1e-10 of the per-gate walk, deterministic per
+seed, and cached per structure by the backends (``REPRO_FUSED=0``
+disables plans process-wide).
+"""
 
 from repro.sim.adjoint import adjoint_expectation_and_jacobian, adjoint_jacobian
 from repro.sim.apply import (
+    apply_diag_batched,
+    apply_diag_to_density_batched,
     apply_kraus_to_density,
     apply_kraus_to_density_batched,
     apply_matrix,
     apply_matrix_batched,
     apply_matrix_to_density,
     apply_matrix_to_density_batched,
+    apply_permutation_batched,
+    apply_permutation_to_density_batched,
     apply_superop_to_density,
     apply_superop_to_density_batched,
     expand_matrix,
@@ -15,9 +32,18 @@ from repro.sim.apply import (
 )
 from repro.sim.batched import BatchedStatevector, run_circuit_batch
 from repro.sim.batched_density import BatchedDensityMatrix, run_density_batch
+from repro.sim.compile import (
+    FUSE_MAX,
+    ExecutionPlan,
+    PlanCache,
+    compile_circuit,
+    fused_enabled,
+)
 from repro.sim.density import DensityMatrix
 from repro.sim.gates import (
+    DIAGONAL_GATES,
     GATES,
+    PERMUTATION_GATES,
     SHIFT_RULE_GATES,
     GateSpec,
     fixed_gate_matrix,
@@ -38,31 +64,42 @@ from repro.sim.measurement import (
 from repro.sim.statevector import Statevector, run_statevector
 
 __all__ = [
+    "DIAGONAL_GATES",
+    "FUSE_MAX",
     "GATES",
+    "PERMUTATION_GATES",
     "SHIFT_RULE_GATES",
     "BatchedDensityMatrix",
     "BatchedStatevector",
     "DensityMatrix",
+    "ExecutionPlan",
     "GateSpec",
+    "PlanCache",
     "Statevector",
     "adjoint_expectation_and_jacobian",
     "adjoint_jacobian",
+    "apply_diag_batched",
+    "apply_diag_to_density_batched",
     "apply_kraus_to_density",
     "apply_kraus_to_density_batched",
     "apply_matrix",
     "apply_matrix_batched",
     "apply_matrix_to_density",
     "apply_matrix_to_density_batched",
+    "apply_permutation_batched",
+    "apply_permutation_to_density_batched",
     "apply_readout_error",
     "apply_readout_error_batch",
     "apply_superop_to_density",
     "apply_superop_to_density_batched",
+    "compile_circuit",
     "counts_to_probabilities",
     "expand_matrix",
     "expectation_z_from_counts",
     "expectation_z_from_prob_matrix",
     "expectation_z_from_probabilities",
     "fixed_gate_matrix",
+    "fused_enabled",
     "get_gate",
     "kraus_to_superop",
     "readout_confusion_matrix",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim import apply as _apply
+from repro.sim import compile as _compile
 from repro.sim import gates as _gates
 from repro.sim import measurement as _measurement
 
@@ -84,7 +85,7 @@ class BatchedStatevector:
         )
         return self
 
-    def evolve(self, batch) -> "BatchedStatevector":
+    def evolve(self, batch, plan=None) -> "BatchedStatevector":
         """Run a :class:`~repro.circuits.batch.CircuitBatch` on the stack.
 
         Per operation: parameterless gates and angle-uniform ops apply
@@ -92,6 +93,13 @@ class BatchedStatevector:
         batch; everything else builds the ``(B, 2^k, 2^k)`` stack with
         the vectorized closed form of :func:`repro.sim.gates.
         stacked_matrices`.
+
+        Args:
+            batch: The stacked circuits to run.
+            plan: Optional compiled :class:`~repro.sim.compile.
+                ExecutionPlan` for the batch's structure; when given,
+                the fused step sequence replaces the per-gate walk
+                (matching it within 1e-10, not bit-exactly).
         """
         if batch.n_qubits != self.n_qubits:
             raise ValueError(
@@ -103,6 +111,12 @@ class BatchedStatevector:
                 f"batch has {batch.size} circuits, stack has "
                 f"{self.batch_size} states"
             )
+        if plan is not None:
+            _compile.check_plan(
+                plan, "statevector", self.n_qubits, len(batch.templates)
+            )
+            self._tensor = plan.run_statevector(self._tensor, batch)
+            return self
         for position, template in enumerate(batch.templates):
             params = batch.op_params(position)
             if params is None:

@@ -1,0 +1,1343 @@
+"""Compiled execution plans: gate fusion and kernel specialization.
+
+Every simulation engine used to walk a circuit gate-by-gate, issuing one
+(batched) GEMM per operation — even for parameterless runs whose product
+is a constant, and for diagonal or permutation gates that need no matmul
+at all.  This module lowers a circuit *structure* once into an
+:class:`ExecutionPlan` — a short list of specialized steps — that every
+structurally identical circuit (parameter-shift clones, re-encoded
+mini-batch rows, serving flushes, worker-pool shards) then replays:
+
+* **Fusion** — adjacent gates whose combined wire support stays within
+  ``FUSE_MAX`` qubits collapse into one stacked unitary: fewer, fatter
+  GEMMs.  Gates on disjoint wires commute exactly, so a gate may join
+  the deepest open block that shares its wires even when unrelated
+  gates sit between them in program order.
+* **Constant folding** — runs of parameterless gates precompose into a
+  single matrix at compile time, shared batch-wide forever.
+* **Kernel specialization** — blocks that are diagonal become one
+  elementwise multiply; 0/1 permutation blocks (X/CNOT/SWAP runs)
+  become an index take.  The batched reference kernels live in
+  :mod:`repro.sim.apply` (:func:`~repro.sim.apply.apply_diag_batched`,
+  :func:`~repro.sim.apply.apply_permutation_batched` and their density
+  twins); plan steps execute the *same* array operations with their
+  axis recipes precomputed at plan-finalize time (see ``_Layout``), and
+  the equivalence tests pin the two against each other.  Registry tags
+  (:attr:`repro.sim.gates.GateSpec.diagonal` / ``permutation``) mark
+  the gates; constant blocks are additionally classified from their
+  folded matrix, so e.g. ``cx; cx`` cancels to nothing.
+* **Batch-wide matrix preparation** — parameterized gate matrices for
+  the *whole plan* are built up front, one vectorized closed-form call
+  per gate type (:func:`repro.sim.gates.batched_rotation` over every
+  occurrence x batch row at once), instead of one build per op per
+  call.  Steps then compose the prebuilt ``(B, d, d)`` stacks with
+  plain ``matmul`` and compile-time kron embeddings.
+* **Noise segments** (density mode) — each gate's per-wire channel
+  stack is precomposed into a single 4x4 superoperator at compile
+  time, and — because a single-qubit unitary's conjugation is itself a
+  4x4 superoperator on that wire — whole per-wire runs of
+  ``gate, channel, gate, channel, ...`` collapse into **one**
+  superoperator application per wire per segment
+  (:class:`WireChainStep`).  A channel only fences fusion on its own
+  wire; diagonal two-qubit gates in between still specialize to
+  elementwise multiplies.  Noise models without the ``superop_for``
+  fast path fall back to per-gate Kraus steps with no fusion, keeping
+  the generic channel ordering exact.
+
+Plans depend only on the circuit's :meth:`~repro.circuits.
+QuantumCircuit.structure_signature` (plus the backend's noise model and
+mode), never on angle values.  Backends keep plans in a
+:class:`PlanCache` (an LRU keyed by structure signature; the owning
+backend pins down the noise-model / layout identity), so a training
+epoch or parameter-shift sweep compiles each structure exactly once.
+
+Numerical contract: fused execution matches the unfused per-gate path
+within ``1e-10`` on observed distributions and is deterministic (same
+plan, same inputs → same bits).  The bit-identical seed path stays
+available via ``fused=False`` / ``REPRO_FUSED=0`` on the backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.sim import apply as _apply
+from repro.sim import gates as _gates
+
+#: Default maximum combined wire support of one fused unitary block.
+#: 2 keeps every fused matrix at most 4x4 — single-qubit runs and
+#: two-qubit neighborhoods collapse while application cost per step
+#: stays at the cost of one two-qubit gate.
+FUSE_MAX = 2
+
+_EYE2 = np.eye(2, dtype=np.complex128)
+
+#: Basis permutation swapping the two wires of a 4x4 matrix.
+_SWAP_PERM = np.array([0, 2, 1, 3], dtype=np.intp)
+
+
+def fused_enabled(default: bool = True) -> bool:
+    """Resolve the ``REPRO_FUSED`` environment toggle.
+
+    ``REPRO_FUSED=0`` (or ``false``/``no``/``off``) disables compiled
+    execution plans process-wide, restoring the bit-identical per-gate
+    path; unset or anything else keeps the default.  Backends read this
+    at construction time, so tests can flip it per-instance.
+    """
+    raw = os.environ.get("REPRO_FUSED")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+# ---------------------------------------------------------------------------
+# Parameter sources
+# ---------------------------------------------------------------------------
+
+class SingleCircuitParams:
+    """Adapt one circuit to the ``CircuitBatch`` parameter interface.
+
+    Plans fetch per-op angles through ``op_params(position)``; this
+    wraps a single circuit's resolved operations as a batch of one, so
+    the single-circuit engines run the same plan code — and therefore
+    produce per-row results bit-identical to the batched fused path.
+    """
+
+    def __init__(self, circuit):
+        self._params = [
+            np.array([op.params], dtype=np.float64) if op.params else None
+            for op in circuit.operations
+        ]
+
+    def op_params(self, position: int) -> np.ndarray | None:
+        return self._params[position]
+
+    def op_is_uniform(self, position: int) -> bool:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Runtime matrix preparation
+# ---------------------------------------------------------------------------
+#
+# Parameterized ops are *prepared* once per plan execution: one
+# vectorized closed-form evaluation per (gate type, embedding) group
+# builds the matrices for every occurrence x batch row at once, already
+# lifted into the basis their step consumes them in (kron-embedded into
+# a 2-wire block, conjugation superoperator, bare diagonal, ...).
+# Steps then reduce to plain matmuls / gathers over prebuilt stacks.
+
+def _embed0(mats: np.ndarray) -> np.ndarray:
+    # kron(U, I): the op acts on the block's first (most significant)
+    # wire — out[..., (i,k), (j,l)] = U[..., i, j] * eye[k, l], via one
+    # broadcast multiply (cheaper than einsum on these tiny stacks).
+    out = mats[..., :, None, :, None] * _EYE2[None, :, None, :]
+    return out.reshape(mats.shape[:-2] + (4, 4))
+
+
+def _embed1(mats: np.ndarray) -> np.ndarray:
+    # kron(I, U): the op acts on the block's second wire.
+    out = mats[..., None, :, None, :] * _EYE2[:, None, :, None]
+    return out.reshape(mats.shape[:-2] + (4, 4))
+
+
+def _embed_swap(mats: np.ndarray) -> np.ndarray:
+    # Two-qubit op whose wire order is reversed within the block.
+    return mats[..., _SWAP_PERM, :][..., :, _SWAP_PERM]
+
+
+def _kron_conj(mats: np.ndarray) -> np.ndarray:
+    """``U (x) conj(U)``: the superoperator of a unitary conjugation."""
+    out = mats[..., :, None, :, None] * mats.conj()[..., None, :, None, :]
+    return out.reshape(mats.shape[:-2] + (4, 4))
+
+
+#: Embedding applied group-wide during preparation, keyed by tag.
+_EMBEDDINGS = {
+    "raw": lambda mats: mats,
+    "embed0": _embed0,
+    "embed1": _embed1,
+    "swap": _embed_swap,
+    "kron": _kron_conj,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class _ParamUse:
+    """How one step consumes one parameterized op's matrices."""
+
+    name: str
+    position: int
+    embed: str  # key of _EMBEDDINGS, or "diag" for bare diagonals
+
+
+@dataclasses.dataclass
+class _ParamGroup:
+    """All same-way-consumed occurrences of one gate type in a plan."""
+
+    name: str
+    embed: str
+    positions: list[int]
+    closed_form: bool
+    generator: np.ndarray | None
+
+
+def _build_param_groups(steps: list) -> list[_ParamGroup]:
+    by_key: "OrderedDict[tuple[str, str], list[int]]" = OrderedDict()
+    for step in steps:
+        for use in step.param_ops():
+            by_key.setdefault((use.name, use.embed), []).append(
+                use.position
+            )
+    groups = []
+    for (name, embed), positions in by_key.items():
+        spec = _gates.get_gate(name)
+        closed = spec.shift_rule and spec.generator is not None
+        groups.append(
+            _ParamGroup(
+                name=name,
+                embed=embed,
+                positions=positions,
+                closed_form=closed,
+                generator=(
+                    _gates.pauli_word_matrix(spec.generator)
+                    if closed
+                    else None
+                ),
+            )
+        )
+    return groups
+
+
+def _group_thetas(group: _ParamGroup, params) -> np.ndarray:
+    """Flat ``(len(positions) * B,)`` angles of one closed-form group."""
+    values = [params.op_params(p) for p in group.positions]
+    if len(values) == 1:
+        return values[0][:, 0]
+    return np.concatenate(values, axis=0)[:, 0]
+
+
+def _group_raw_matrices(group: _ParamGroup, params) -> np.ndarray:
+    """``(P, B, d, d)`` stacks for one group, one vectorized build.
+
+    Closed-form rotations evaluate every occurrence x batch angle in a
+    single :func:`~repro.sim.gates.batched_rotation` call; elementwise
+    operation order matches the per-op build exactly, so each slice is
+    bit-identical to what the unprepared path would construct.
+    """
+    if group.closed_form:
+        stacked = _gates.batched_rotation(
+            group.generator, _group_thetas(group, params)
+        )
+        dim = stacked.shape[-1]
+        return stacked.reshape(len(group.positions), -1, dim, dim)
+    return np.stack(
+        [
+            _gates.stacked_matrices(group.name, params.op_params(p))
+            for p in group.positions
+        ]
+    )
+
+
+def _group_diagonals(group: _ParamGroup, params) -> np.ndarray:
+    """``(P, B, d)`` diagonals for a group of diagonal gates.
+
+    For closed-form rotations with a diagonal generator the diagonal is
+    evaluated directly (``cos - i sin * g_ii`` — the same elementwise
+    operations :func:`~repro.sim.gates.batched_rotation` applies to the
+    diagonal entries, so the values are bit-identical to extracting the
+    diagonal of the full matrix).
+    """
+    if group.closed_form and _is_exact_diagonal(group.generator):
+        thetas = _group_thetas(group, params)
+        gdiag = np.diagonal(group.generator)
+        cos = np.cos(thetas / 2.0)[:, None]
+        sin = np.sin(thetas / 2.0)[:, None]
+        diag = cos * np.ones_like(gdiag) - 1j * sin * gdiag
+        return diag.reshape(len(group.positions), -1, gdiag.shape[0])
+    return np.diagonal(
+        _group_raw_matrices(group, params), axis1=-2, axis2=-1
+    )
+
+
+def _prepare_matrices(
+    groups: list[_ParamGroup], n_ops: int, params
+) -> list[np.ndarray | None]:
+    """Per-position prepared arrays, embedded for their consuming step."""
+    matrices: list[np.ndarray | None] = [None] * n_ops
+    for group in groups:
+        if group.embed == "diag":
+            prepared = _group_diagonals(group, params)
+        else:
+            prepared = _EMBEDDINGS[group.embed](
+                _group_raw_matrices(group, params)
+            )
+        for index, position in enumerate(group.positions):
+            matrices[position] = prepared[index]
+    return matrices
+
+
+def _embed_tag(axes: tuple[int, ...], block_k: int) -> str:
+    """Pick the embedding that lifts an op matrix into block basis."""
+    if block_k == 1:
+        return "raw"
+    if block_k == 2:
+        if axes == (0,):
+            return "embed0"
+        if axes == (1,):
+            return "embed1"
+        if axes == (0, 1):
+            return "raw"
+        if axes == (1, 0):
+            return "swap"
+    raise ValueError(
+        f"no embedding for axes {axes} in a {block_k}-wire block "
+        f"(fuse_max > 2 is not supported)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Precomputed application layouts
+# ---------------------------------------------------------------------------
+#
+# The generic kernels in repro.sim.apply normalize axes and validate
+# shapes on every call; a plan applies the same step to the same layout
+# thousands of times, so the transpose permutations and reshape targets
+# are resolved once at plan-finalize time.  The array operations
+# themselves (transpose order, reshape, matmul / gather / multiply) are
+# exactly the generic kernels' — results stay bit-identical to them.
+
+class _Layout:
+    """The symbolic axis order of the evolving tensor.
+
+    Plans never restore the canonical axis order between steps: each
+    matmul-style step leaves its target axes at the front and records
+    the resulting permutation, the next step transposes *from that
+    layout* (a view — the data was made contiguous in it by the
+    reshape), and a single restoring transpose runs once at the end of
+    the plan.  Every intermediate is therefore contiguous in its own
+    layout, which keeps reshapes to one copy per matmul step and lets
+    diagonal factors broadcast against aligned, contiguous data.
+    Element values are untouched — only their placement moves — so
+    results stay bit-identical to the eager-restore kernels.
+    """
+
+    __slots__ = ("perm", "rank")
+
+    def __init__(self, rank: int):
+        self.perm = tuple(range(rank))
+        self.rank = rank
+
+    def positions_of(self, axes: list[int]) -> list[int]:
+        """Current positions of the given canonical axes."""
+        return [self.perm.index(a) for a in axes]
+
+    def to_front(self, axes: list[int]) -> tuple[int, ...]:
+        """Transpose bringing the canonical ``axes`` to positions 1..k.
+
+        Updates the symbolic layout; returns the transpose to apply to
+        the concrete tensor (relative to its current layout).
+        """
+        positions = self.positions_of(axes)
+        batch_pos = self.perm.index(0)
+        fwd = (
+            (batch_pos,)
+            + tuple(positions)
+            + tuple(
+                p
+                for p in range(self.rank)
+                if p != batch_pos and p not in positions
+            )
+        )
+        self.perm = tuple(self.perm[p] for p in fwd)
+        return fwd
+
+    def restore(self) -> tuple[int, ...] | None:
+        """Transpose returning to canonical order (None if already)."""
+        if self.perm == tuple(range(self.rank)):
+            return None
+        return tuple(int(i) for i in np.argsort(self.perm))
+
+
+class _MatmulLayout:
+    """Per-step transpose/reshape recipe under deferred layout."""
+
+    __slots__ = ("fwd", "dim")
+
+    def __init__(self, axes: list[int], layout: _Layout):
+        self.fwd = layout.to_front(axes)
+        self.dim = 2 ** len(axes)
+
+    def apply(self, tensor: np.ndarray, mats: np.ndarray) -> np.ndarray:
+        moved = tensor.transpose(self.fwd)
+        flat = moved.reshape(tensor.shape[0], self.dim, -1)
+        out = np.matmul(mats, flat)
+        return out.reshape(moved.shape)
+
+    def take(self, tensor: np.ndarray, source: np.ndarray) -> np.ndarray:
+        moved = tensor.transpose(self.fwd)
+        flat = moved.reshape(tensor.shape[0], self.dim, -1)
+        out = flat[:, source, :]
+        return out.reshape(moved.shape)
+
+
+class _DiagLayout:
+    """Broadcast recipe lifting a ``(B, 2^k)`` diagonal onto a tensor.
+
+    Built against the plan's live layout: the factor's axes land
+    wherever the target axes currently sit, so the multiply runs
+    against aligned (and, under deferred layout, contiguous) data and
+    the tensor's layout is left unchanged.
+    """
+
+    __slots__ = ("k", "order", "shape")
+
+    def __init__(self, axes: list[int], layout: _Layout):
+        self.k = len(axes)
+        positions = layout.positions_of(axes)
+        self.order = tuple(
+            [0] + [1 + int(j) for j in np.argsort(positions)]
+        )
+        shape = [1] * layout.rank
+        for position in positions:
+            shape[position] = 2
+        self.shape = shape
+
+    def factor(self, diags: np.ndarray) -> np.ndarray:
+        batch = diags.shape[0] if diags.ndim == 2 else 1
+        tensor = diags.reshape((batch,) + (2,) * self.k)
+        tensor = tensor.transpose(self.order)
+        shape = list(self.shape)
+        shape[0] = batch
+        return tensor.reshape(shape)
+
+
+def _state_axes(wires: tuple[int, ...]) -> list[int]:
+    return [w + 1 for w in wires]
+
+
+def _bra_axes(wires: tuple[int, ...], n_qubits: int) -> list[int]:
+    return [n_qubits + w + 1 for w in wires]
+
+
+# ---------------------------------------------------------------------------
+# Plan steps
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ConstantStep:
+    """A precomposed parameterless unitary, shared batch-wide."""
+
+    wires: tuple[int, ...]
+    matrix: np.ndarray
+
+    kind = "matmul"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        self._ket = _MatmulLayout(_state_axes(self.wires), layout)
+        if mode == "density":
+            self._bra = _MatmulLayout(
+                _bra_axes(self.wires, n_qubits), layout
+            )
+            self._conj = self.matrix.conj()
+
+    def param_ops(self):
+        return []
+
+    def run_state(self, tensor, matrices):
+        return self._ket.apply(tensor, self.matrix)
+
+    def run_density(self, tensor, matrices):
+        out = self._ket.apply(tensor, self.matrix)
+        return self._bra.apply(out, self._conj)
+
+
+@dataclasses.dataclass
+class _Factor:
+    """One multiplicand of a composed step.
+
+    Either a compile-time constant ``matrix`` (already lifted into the
+    step's basis, adjacent constants folded together), or a reference
+    to a parameterized op whose prepared — already embedded — stack is
+    fetched per call.
+    """
+
+    matrix: np.ndarray | None = None
+    name: str | None = None
+    position: int | None = None
+    embed: str | None = None
+
+
+def _fold_factors(factors: list[_Factor]) -> list[_Factor]:
+    """Precompose adjacent constant factors at compile time."""
+    folded: list[_Factor] = []
+    for factor in factors:
+        if (
+            factor.matrix is not None
+            and folded
+            and folded[-1].matrix is not None
+        ):
+            folded[-1] = _Factor(
+                matrix=factor.matrix @ folded[-1].matrix
+            )
+        else:
+            folded.append(factor)
+    return folded
+
+
+def _compose_factors(factors: list[_Factor], matrices: list) -> np.ndarray:
+    """Left-multiply the factor sequence into one (stacked) matrix."""
+    acc = None
+    for factor in factors:
+        mat = (
+            factor.matrix
+            if factor.matrix is not None
+            else matrices[factor.position]
+        )
+        acc = mat if acc is None else np.matmul(mat, acc)
+    return acc
+
+
+def _factor_uses(factors: list[_Factor]) -> list[_ParamUse]:
+    return [
+        _ParamUse(f.name, f.position, f.embed)
+        for f in factors
+        if f.position is not None
+    ]
+
+
+@dataclasses.dataclass
+class FusedStep:
+    """A parameterized fused block, recomposed per call.
+
+    The block unitary is the plain matmul product of the member
+    factors — parameterless gates folded into constants and
+    parameterized gates fetched from the prepared (pre-embedded)
+    stacks — then applied once.
+    """
+
+    wires: tuple[int, ...]
+    factors: list[_Factor]
+
+    kind = "matmul"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        self._ket = _MatmulLayout(_state_axes(self.wires), layout)
+        if mode == "density":
+            self._bra = _MatmulLayout(
+                _bra_axes(self.wires, n_qubits), layout
+            )
+
+    def param_ops(self):
+        return _factor_uses(self.factors)
+
+    def matrices(self, matrices: list) -> np.ndarray:
+        return _compose_factors(self.factors, matrices)
+
+    def run_state(self, tensor, matrices):
+        return self._ket.apply(tensor, self.matrices(matrices))
+
+    def run_density(self, tensor, matrices):
+        block = self.matrices(matrices)
+        out = self._ket.apply(tensor, block)
+        return self._bra.apply(out, block.conj())
+
+
+@dataclasses.dataclass
+class _DiagOp:
+    """One parameterized diagonal factor inside a diagonal block.
+
+    ``jmap`` gathers the op's local (prepared, bare) diagonal out to
+    the block's joint index: ``expanded[i] = diag[jmap[i]]``.
+    """
+
+    name: str
+    jmap: np.ndarray
+    position: int
+
+
+@dataclasses.dataclass
+class DiagStep:
+    """A fused diagonal block: one elementwise multiply per application.
+
+    Diagonal gates commute, so any mix of parameterless (folded into
+    ``constant`` at compile time) and parameterized diagonal gates
+    collapses into a single ``(B, 2^k)`` diagonal; adjacent diagonal
+    steps additionally merge across arbitrary wire support (the
+    diagonal grows, the application stays one elementwise pass).
+    """
+
+    wires: tuple[int, ...]
+    constant: np.ndarray | None
+    ops: list[_DiagOp]
+
+    kind = "diag"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        self._ket = _DiagLayout(_state_axes(self.wires), layout)
+        if mode == "density":
+            self._bra = _DiagLayout(
+                _bra_axes(self.wires, n_qubits), layout
+            )
+
+    def param_ops(self):
+        return [_ParamUse(op.name, op.position, "diag") for op in self.ops]
+
+    def diags(self, matrices: list) -> np.ndarray:
+        total = self.constant
+        for op in self.ops:
+            d = matrices[op.position][..., op.jmap]
+            total = d if total is None else total * d
+        return total
+
+    def run_state(self, tensor, matrices):
+        return tensor * self._ket.factor(self.diags(matrices))
+
+    def run_density(self, tensor, matrices):
+        diags = self.diags(matrices)
+        out = tensor * self._ket.factor(diags)
+        return out * self._bra.factor(diags.conj())
+
+
+@dataclasses.dataclass
+class PermutationStep:
+    """A fused 0/1 permutation block: one index take per application.
+
+    Adjacent permutation steps merge across arbitrary wire support by
+    composing their gather maps at compile time.
+    """
+
+    wires: tuple[int, ...]
+    source: np.ndarray
+
+    kind = "permutation"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        self._ket = _MatmulLayout(_state_axes(self.wires), layout)
+        if mode == "density":
+            self._bra = _MatmulLayout(
+                _bra_axes(self.wires, n_qubits), layout
+            )
+
+    def param_ops(self):
+        return []
+
+    def run_state(self, tensor, matrices):
+        return self._ket.take(tensor, self.source)
+
+    def run_density(self, tensor, matrices):
+        out = self._ket.take(tensor, self.source)
+        return self._bra.take(out, self.source)
+
+
+@dataclasses.dataclass
+class WireChainStep:
+    """A per-wire run of single-qubit gates and channels (density only).
+
+    A single-qubit unitary's conjugation ``rho -> U rho U^dagger`` is
+    itself a 4x4 superoperator ``U (x) conj(U)`` on that wire's (ket,
+    bra) index pair, so a whole segment ``gate, channel, gate,
+    channel, ...`` on one wire composes into **one** 4x4 (or
+    ``(B, 4, 4)``) matrix and applies with a single contraction —
+    instead of two matmuls per gate plus one per channel.  Channel
+    superoperators and parameterless gates are folded into constant
+    factors at compile time; parameterized gates are fetched from the
+    prepared stacks, pre-lifted by the ``kron`` embedding.
+    """
+
+    wire: int
+    factors: list[_Factor]
+
+    kind = "superop"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        self._layout = _MatmulLayout(
+            [self.wire + 1, n_qubits + self.wire + 1], layout
+        )
+
+    def param_ops(self):
+        return _factor_uses(self.factors)
+
+    def superops(self, matrices: list) -> np.ndarray:
+        return _compose_factors(self.factors, matrices)
+
+    def run_state(self, tensor, matrices):
+        raise TypeError("noise steps only run on density tensors")
+
+    def run_density(self, tensor, matrices):
+        return self._layout.apply(tensor, self.superops(matrices))
+
+
+@dataclasses.dataclass
+class KrausStep:
+    """A generic Kraus channel step (density only, no fusion)."""
+
+    wires: tuple[int, ...]
+    kraus_ops: tuple[np.ndarray, ...]
+
+    kind = "kraus"
+
+    def finalize(self, n_qubits: int, mode: str, layout: _Layout) -> None:
+        # The generic Kraus kernel expects the canonical axis order:
+        # restore it first and reset the symbolic layout.
+        self._restore = layout.restore()
+        layout.perm = tuple(range(layout.rank))
+
+    def param_ops(self):
+        return []
+
+    def run_state(self, tensor, matrices):
+        raise TypeError("noise steps only run on density tensors")
+
+    def run_density(self, tensor, matrices):
+        if self._restore is not None:
+            tensor = tensor.transpose(self._restore)
+        return _apply.apply_kraus_to_density_batched(
+            tensor, self.kraus_ops, self.wires
+        )
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+class ExecutionPlan:
+    """A compiled, structure-keyed lowering of one circuit structure.
+
+    Attributes:
+        n_qubits: Width the plan evolves.
+        mode: ``"statevector"`` or ``"density"`` — which engine family
+            the steps were compiled for (noise steps exist only in
+            density plans).
+        steps: The ordered specialized steps.
+        n_source_ops: Gate count of the source structure, used to guard
+            against running a plan against a mismatched batch.
+    """
+
+    def __init__(
+        self, n_qubits: int, mode: str, steps: list, n_source_ops: int
+    ):
+        self.n_qubits = n_qubits
+        self.mode = mode
+        self.steps = steps
+        self.n_source_ops = n_source_ops
+        self._param_groups = _build_param_groups(steps)
+        layout = _Layout((2 * n_qubits if mode == "density" else n_qubits) + 1)
+        for step in steps:
+            step.finalize(n_qubits, mode, layout)
+        #: Final transpose returning the tensor to canonical axis order
+        #: (steps defer it — see _Layout).
+        self._restore = layout.restore()
+
+    def run_statevector(self, tensor: np.ndarray, params) -> np.ndarray:
+        """Evolve a ``(B,) + (2,)*n`` stacked statevector tensor."""
+        matrices = _prepare_matrices(
+            self._param_groups, self.n_source_ops, params
+        )
+        for step in self.steps:
+            tensor = step.run_state(tensor, matrices)
+        if self._restore is not None:
+            tensor = tensor.transpose(self._restore)
+        return tensor
+
+    def run_density(self, tensor: np.ndarray, params) -> np.ndarray:
+        """Evolve a ``(B,) + (2,)*2n`` stacked density tensor."""
+        matrices = _prepare_matrices(
+            self._param_groups, self.n_source_ops, params
+        )
+        for step in self.steps:
+            tensor = step.run_density(tensor, matrices)
+        if self._restore is not None:
+            tensor = tensor.transpose(self._restore)
+        return tensor
+
+    def step_counts(self) -> dict[str, int]:
+        """Histogram of step kinds (``matmul`` / ``diag`` / ...)."""
+        counts: dict[str, int] = {}
+        for step in self.steps:
+            counts[step.kind] = counts.get(step.kind, 0) + 1
+        return counts
+
+    def gemm_count(self) -> int:
+        """Number of matmul-kernel steps (the fused-plan GEMMs)."""
+        return sum(1 for step in self.steps if step.kind == "matmul")
+
+    def cost_ops(self) -> float:
+        """Estimated flops to execute the plan once per circuit.
+
+        Uses the per-step-kind formulas of
+        :mod:`repro.scaling.cost_model`, so the :class:`~repro.parallel.
+        ShardPlanner`'s chunk sizing stays consistent with the fused
+        execution the workers actually perform.
+        """
+        from repro.scaling import cost_model
+
+        total = 0.0
+        for step in self.steps:
+            if step.kind == "matmul":
+                total += cost_model.kqubit_gate_ops(
+                    self.n_qubits, len(step.wires)
+                )
+            elif step.kind == "diag":
+                total += cost_model.diag_gate_ops(self.n_qubits)
+            elif step.kind == "permutation":
+                total += cost_model.permutation_gate_ops(self.n_qubits)
+            elif step.kind == "superop":
+                # One 4x4 on the wire's fused (ket, bra) index pair of
+                # the density tensor: like a single-qubit GEMM.
+                total += cost_model.kqubit_gate_ops(self.n_qubits, 1)
+            else:  # kraus: one conjugation per operator
+                total += 2.0 * len(step.kraus_ops) * (
+                    cost_model.kqubit_gate_ops(
+                        self.n_qubits, len(step.wires)
+                    )
+                )
+        return total
+
+    def describe(self) -> str:
+        """Short human-readable summary for logs."""
+        counts = self.step_counts()
+        body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return (
+            f"ExecutionPlan({self.mode}, {self.n_qubits}q, "
+            f"{self.n_source_ops} ops -> {len(self.steps)} steps: {body})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def check_plan(
+    plan: ExecutionPlan, mode: str, n_qubits: int, n_ops: int
+) -> None:
+    """Guard an engine against running a mismatched plan.
+
+    Raises ``ValueError`` when the plan's mode, width, or source gate
+    count disagrees with the circuit/batch about to be executed — the
+    failure modes of keying a cache wrongly.
+    """
+    if plan.mode != mode:
+        raise ValueError(
+            f"plan was compiled for {plan.mode!r} execution, not {mode!r}"
+        )
+    if plan.n_qubits != n_qubits:
+        raise ValueError(
+            f"plan acts on {plan.n_qubits} qubits, state has {n_qubits}"
+        )
+    if plan.n_source_ops != n_ops:
+        raise ValueError(
+            f"plan was compiled from {plan.n_source_ops} ops, circuit "
+            f"has {n_ops}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _Op:
+    """Compiler-internal view of one source operation."""
+
+    position: int
+    name: str
+    wires: tuple[int, ...]
+    parameterized: bool
+    diagonal: bool
+
+
+class _Block:
+    """An open fusion block accumulating adjacent ops."""
+
+    __slots__ = ("wires", "ops")
+
+    def __init__(self, op: _Op):
+        self.wires: list[int] = list(op.wires)
+        self.ops: list[_Op] = [op]
+
+    def add(self, op: _Op) -> None:
+        self.ops.append(op)
+        for wire in op.wires:
+            if wire not in self.wires:
+                self.wires.append(wire)
+
+
+def _expand_map(axes: tuple[int, ...], k: int) -> np.ndarray:
+    """Gather map expanding a local diagonal to the block's joint index.
+
+    ``axes`` are the op's local wire axes within a ``k``-wire block (in
+    gate wire order, most significant first); ``out[i]`` is the op-local
+    index whose bits are ``i``'s bits at those axes.
+    """
+    m = len(axes)
+    jmap = np.empty(2**k, dtype=np.intp)
+    for i in range(2**k):
+        j = 0
+        for t, axis in enumerate(axes):
+            j |= ((i >> (k - 1 - axis)) & 1) << (m - 1 - t)
+        jmap[i] = j
+    return jmap
+
+
+def _is_exact_diagonal(matrix: np.ndarray) -> bool:
+    off = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    return bool(np.all(off == 0))
+
+
+def _is_exact_permutation(matrix: np.ndarray) -> bool:
+    if not np.all((matrix == 0) | (matrix == 1)):
+        return False
+    ones = matrix == 1
+    return bool(
+        np.all(ones.sum(axis=0) == 1) and np.all(ones.sum(axis=1) == 1)
+    )
+
+
+def _block_axes(block: _Block, op: _Op) -> tuple[int, ...]:
+    return tuple(block.wires.index(w) for w in op.wires)
+
+
+def _compose_constant(block: _Block) -> np.ndarray:
+    """Fold a parameterless block into one matrix at compile time."""
+    k = len(block.wires)
+    dim = 2**k
+    acc = np.eye(dim, dtype=np.complex128).reshape((1,) + (2,) * k + (dim,))
+    for op in block.ops:
+        matrix = _gates.fixed_gate_matrix(op.name)
+        acc = _apply.matmul_on_axes(
+            acc, matrix, [a + 1 for a in _block_axes(block, op)]
+        )
+    return acc.reshape(dim, dim)
+
+
+def _finalize_block(block: _Block):
+    """Lower one closed block to its most specialized step (or None).
+
+    Parameterless blocks fold to a constant, then classify: an exact
+    identity is dropped entirely, exact permutations become index
+    takes, exact diagonals become elementwise multiplies, the rest one
+    shared GEMM.  Parameterized blocks stay diagonal only when every
+    member is registry-tagged diagonal.
+    """
+    wires = tuple(block.wires)
+    k = len(wires)
+    if all(not op.parameterized for op in block.ops):
+        matrix = _compose_constant(block)
+        if np.array_equal(matrix, np.eye(2**k)):
+            return None
+        if _is_exact_permutation(matrix):
+            source = np.array(
+                [int(np.nonzero(row)[0][0]) for row in matrix],
+                dtype=np.intp,
+            )
+            return PermutationStep(wires, source)
+        if _is_exact_diagonal(matrix):
+            return DiagStep(wires, np.diagonal(matrix).copy(), [])
+        return ConstantStep(wires, matrix)
+    if all(op.diagonal for op in block.ops):
+        constant = None
+        diag_ops = []
+        for op in block.ops:
+            jmap = _expand_map(_block_axes(block, op), k)
+            if op.parameterized:
+                diag_ops.append(_DiagOp(op.name, jmap, op.position))
+            else:
+                d = np.diagonal(_gates.fixed_gate_matrix(op.name))[jmap]
+                constant = d if constant is None else constant * d
+        return DiagStep(wires, constant, diag_ops)
+    factors = []
+    for op in block.ops:
+        embed = _embed_tag(_block_axes(block, op), k)
+        if op.parameterized:
+            factors.append(
+                _Factor(name=op.name, position=op.position, embed=embed)
+            )
+        else:
+            matrix = _EMBEDDINGS[embed](_gates.fixed_gate_matrix(op.name))
+            factors.append(_Factor(matrix=matrix))
+    return FusedStep(wires, _fold_factors(factors))
+
+
+def _partition_unitary(ops: list[_Op], fuse_max: int) -> list[_Block]:
+    """Greedy multi-open-block fusion of a noise-free op sequence.
+
+    A gate joins the *deepest* open block that shares any of its wires
+    (provided the union support stays within ``fuse_max``); every block
+    opened later is then guaranteed disjoint from the gate's wires, so
+    the emission reorder only ever commutes disjoint-support gates.
+    When the union would exceed ``fuse_max``, that block and everything
+    opened before it are emitted and a fresh block starts.
+    """
+    open_blocks: list[_Block] = []
+    emitted: list[_Block] = []
+    for op in ops:
+        wires = set(op.wires)
+        deepest = None
+        for index in range(len(open_blocks) - 1, -1, -1):
+            if wires & set(open_blocks[index].wires):
+                deepest = index
+                break
+        if deepest is not None:
+            union = set(open_blocks[deepest].wires) | wires
+            if len(union) <= fuse_max:
+                open_blocks[deepest].add(op)
+                continue
+            emitted.extend(open_blocks[: deepest + 1])
+            del open_blocks[: deepest + 1]
+        open_blocks.append(_Block(op))
+    emitted.extend(open_blocks)
+    return emitted
+
+
+def _merge_adjacent_blocks(
+    blocks: list[_Block], fuse_max: int
+) -> list[_Block]:
+    """Greedily merge neighbouring blocks whose union support fits.
+
+    Emitted blocks execute back to back in order, so concatenating an
+    adjacent pair preserves the op sequence exactly — this catches
+    disjoint-wire neighbours (a layer of single-qubit gates) that the
+    intersection-driven partition left apart.
+    """
+    merged: list[_Block] = []
+    for block in blocks:
+        if (
+            merged
+            and len(set(merged[-1].wires) | set(block.wires)) <= fuse_max
+        ):
+            for op in block.ops:
+                merged[-1].add(op)
+        else:
+            merged.append(block)
+    return merged
+
+
+def _compile_unitary(ops: list[_Op], fuse_max: int) -> list:
+    steps = []
+    blocks = _merge_adjacent_blocks(
+        _partition_unitary(ops, fuse_max), fuse_max
+    )
+    for block in blocks:
+        step = _finalize_block(block)
+        if step is not None:
+            steps.append(step)
+    return steps
+
+
+#: Merged diagonal / permutation steps never outgrow this support —
+#: bounds the fused lookup table at 2^8 entries while still collapsing
+#: whole entangling rings into one elementwise pass.
+_MERGE_MAX = 8
+
+
+def _merge_diag(a: DiagStep, b: DiagStep) -> DiagStep:
+    """Fuse two adjacent diagonal steps over their union support."""
+    wires = list(a.wires)
+    for wire in b.wires:
+        if wire not in wires:
+            wires.append(wire)
+    k = len(wires)
+    constant = None
+    ops: list[_DiagOp] = []
+    for step in (a, b):
+        axes = tuple(wires.index(w) for w in step.wires)
+        jmap = _expand_map(axes, k)
+        if step.constant is not None:
+            expanded = step.constant[jmap]
+            constant = (
+                expanded if constant is None else constant * expanded
+            )
+        for op in step.ops:
+            ops.append(_DiagOp(op.name, op.jmap[jmap], op.position))
+    return DiagStep(tuple(wires), constant, ops)
+
+
+def _merge_permutation(
+    a: PermutationStep, b: PermutationStep
+) -> PermutationStep:
+    """Fuse two adjacent permutation steps over their union support."""
+    wires = list(a.wires)
+    for wire in b.wires:
+        if wire not in wires:
+            wires.append(wire)
+    k = len(wires)
+    full = []
+    for step in (a, b):
+        axes = tuple(wires.index(w) for w in step.wires)
+        jmap = _expand_map(axes, k)
+        # Lift step.source to the union index space: replace the
+        # step's local bits of each index with their permuted values.
+        lifted = np.empty(2**k, dtype=np.intp)
+        m = len(step.wires)
+        for i in range(2**k):
+            local = int(step.source[jmap[i]])
+            out = i
+            for t, axis in enumerate(axes):
+                bit = (local >> (m - 1 - t)) & 1
+                shift = k - 1 - axis
+                out = (out & ~(1 << shift)) | (bit << shift)
+            lifted[i] = out
+        full.append(lifted)
+    # a then b: out[i] = in[a_src[b_src[i]]].
+    return PermutationStep(tuple(wires), full[0][full[1]])
+
+
+def _merge_adjacent(steps: list) -> list:
+    """Fuse runs of adjacent diagonal / permutation steps.
+
+    Adjacent steps execute back to back, so merging them never reorders
+    anything — the only cost is the merged step's wider lookup table,
+    capped at ``_MERGE_MAX`` wires.
+    """
+    out: list = []
+    for step in steps:
+        previous = out[-1] if out else None
+        if (
+            isinstance(step, DiagStep)
+            and isinstance(previous, DiagStep)
+            and len(set(previous.wires) | set(step.wires)) <= _MERGE_MAX
+        ):
+            out[-1] = _merge_diag(previous, step)
+        elif (
+            isinstance(step, PermutationStep)
+            and isinstance(previous, PermutationStep)
+            and len(set(previous.wires) | set(step.wires)) <= _MERGE_MAX
+        ):
+            out[-1] = _merge_permutation(previous, step)
+        else:
+            out.append(step)
+    return out
+
+
+def _compile_noisy_superop(
+    ops: list[_Op], superops: list[np.ndarray | None], fuse_max: int
+) -> list:
+    """Wire-chain lowering of a noisy op sequence (density mode).
+
+    Single-qubit gates and their trailing channels accumulate into
+    per-wire chains (one superoperator application per wire per
+    segment); multi-qubit gates flush the chains on their wires, emit
+    their own specialized step, and seed fresh chains with their
+    channels.  Chains on untouched wires stay open across other wires'
+    activity — a reorder that only ever commutes disjoint-support
+    operations.
+    """
+    steps: list = []
+    chains: "OrderedDict[int, list[_Factor]]" = OrderedDict()
+
+    def flush(wire: int) -> None:
+        factors = chains.pop(wire, None)
+        if factors:
+            steps.append(WireChainStep(wire, _fold_factors(factors)))
+
+    for op, superop in zip(ops, superops):
+        if len(op.wires) == 1:
+            wire = op.wires[0]
+            chain = chains.setdefault(wire, [])
+            if op.parameterized:
+                chain.append(
+                    _Factor(
+                        name=op.name, position=op.position, embed="kron"
+                    )
+                )
+            else:
+                matrix = _gates.fixed_gate_matrix(op.name)
+                chain.append(_Factor(matrix=_kron_conj(matrix)))
+            if superop is not None:
+                chain.append(_Factor(matrix=superop))
+        else:
+            for wire in op.wires:
+                flush(wire)
+            step = _finalize_block(_Block(op))
+            if step is not None:
+                steps.append(step)
+            if superop is not None:
+                for wire in op.wires:
+                    chains.setdefault(wire, []).append(
+                        _Factor(matrix=superop)
+                    )
+    for wire in list(chains):
+        flush(wire)
+    return steps
+
+
+def _compile_noisy_kraus(ops: list[_Op], noise_model) -> list:
+    """Per-gate lowering for generic Kraus-only noise models.
+
+    No fusion: the exact gate/channel interleaving of the sequential
+    path is preserved, each gate becoming its own (still specialized)
+    single-op step.
+    """
+    steps: list = []
+    for op in ops:
+        step = _finalize_block(_Block(op))
+        if step is not None:
+            steps.append(step)
+        for kraus_ops, wires in noise_model.channels_for(
+            _TemplateView(op.name, op.wires)
+        ):
+            steps.append(KrausStep(tuple(wires), tuple(kraus_ops)))
+    return steps
+
+
+@dataclasses.dataclass(frozen=True)
+class _TemplateView:
+    """The (name, wires) view noise-model lookups need."""
+
+    name: str
+    wires: tuple[int, ...]
+
+
+def compile_circuit(
+    circuit,
+    mode: str = "statevector",
+    noise_model=None,
+    fuse_max: int = FUSE_MAX,
+) -> ExecutionPlan:
+    """Lower a circuit's structure into an :class:`ExecutionPlan`.
+
+    Args:
+        circuit: A representative :class:`~repro.circuits.
+            QuantumCircuit`; only its structure (gate names, wires,
+            which ops carry parameters) is read — angle values never
+            enter the plan, so the plan serves every circuit sharing
+            the representative's ``structure_signature``.
+        mode: ``"statevector"`` or ``"density"``.
+        noise_model: Optional noise model (density mode only); its
+            per-gate channels are baked in as precomposed superoperator
+            steps (or generic Kraus steps when the model offers no
+            ``superop_for``).  The plan is only valid for this exact
+            model — cache accordingly.
+        fuse_max: Maximum combined wire support of a fused block
+            (1..2; larger blocks would need generic embeddings).
+
+    Returns:
+        The compiled plan.
+    """
+    if mode not in ("statevector", "density"):
+        raise ValueError("mode must be 'statevector' or 'density'")
+    if noise_model is not None and mode != "density":
+        raise ValueError("noise models require density mode")
+    if not 1 <= fuse_max <= 2:
+        raise ValueError("fuse_max must be 1 or 2")
+    ops = []
+    for position, template in enumerate(circuit.templates):
+        spec = _gates.get_gate(template.name)
+        ops.append(
+            _Op(
+                position=position,
+                name=spec.name,
+                wires=tuple(template.wires),
+                parameterized=spec.num_params > 0,
+                diagonal=spec.diagonal,
+            )
+        )
+
+    if noise_model is None:
+        steps = _compile_unitary(ops, fuse_max)
+    else:
+        fast = getattr(noise_model, "superop_for", None)
+        if fast is None:
+            steps = _compile_noisy_kraus(ops, noise_model)
+        else:
+            superops = [
+                fast(_TemplateView(op.name, op.wires)) for op in ops
+            ]
+            if all(s is None for s in superops):
+                # Noise-free model (scale 0): full unitary fusion.
+                steps = _compile_unitary(ops, fuse_max)
+            else:
+                steps = _compile_noisy_superop(ops, superops, fuse_max)
+    steps = _merge_adjacent(steps)
+    return ExecutionPlan(
+        n_qubits=circuit.n_qubits,
+        mode=mode,
+        steps=steps,
+        n_source_ops=len(ops),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+class PlanCache:
+    """Thread-safe LRU with hit/miss counters.
+
+    Backends key it by :meth:`~repro.circuits.QuantumCircuit.
+    structure_signature` (which embeds the qubit count); each backend
+    owns its own cache, so the noise-model / layout identity of the
+    full cache key is carried by the owner rather than hashed into
+    every lookup.  Also reused as the :class:`~repro.hardware.
+    NoisyBackend` transpile cache (fingerprint-keyed) — it is a plain
+    value LRU.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = int(maxsize)
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key):
+        """Look up a key; counts a hit or miss.  ``None`` when absent."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+            self._misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        """Insert (or refresh) an entry, evicting the least recent."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def get_or_compile(self, key, builder: Callable[[], object]):
+        """Return the cached value, building and caching on a miss.
+
+        The builder runs outside the lock — two racing threads may both
+        compile, but plans are pure values so the duplicate work is
+        harmless and the lock never blocks on compilation.
+        """
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    def stats(self) -> dict:
+        """Counters snapshot: hits, misses, hit_rate, size, maxsize."""
+        with self._lock:
+            total = self._hits + self._misses
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "hit_rate": self._hits / total if total else 0.0,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -174,6 +174,13 @@ class GateSpec:
         generator: Pauli-word label of the Hermitian generator, when the
             gate is ``exp(-i theta G / 2)`` — used by tests and by the
             adjoint differentiation engine.
+        diagonal: The unitary is diagonal in the computational basis for
+            *every* parameter value.  The execution-plan compiler
+            (:mod:`repro.sim.compile`) lowers such gates to an
+            elementwise multiply instead of a matmul.
+        permutation: The unitary is a 0/1 permutation matrix (no phases);
+            the compiler lowers these to an index take.  Only
+            parameterless gates carry this tag.
     """
 
     name: str
@@ -182,6 +189,8 @@ class GateSpec:
     matrix_fn: Callable[..., np.ndarray]
     shift_rule: bool = False
     generator: str | None = None
+    diagonal: bool = False
+    permutation: bool = False
 
     def matrix(self, *params: float) -> np.ndarray:
         """Return the unitary for the given parameter values."""
@@ -204,36 +213,46 @@ def _fixed(matrix: np.ndarray) -> Callable[..., np.ndarray]:
 GATES: dict[str, GateSpec] = {
     spec.name: spec
     for spec in [
-        GateSpec("i", 1, 0, _fixed(I2)),
-        GateSpec("x", 1, 0, _fixed(X)),
+        GateSpec("i", 1, 0, _fixed(I2), diagonal=True),
+        GateSpec("x", 1, 0, _fixed(X), permutation=True),
         GateSpec("y", 1, 0, _fixed(Y)),
-        GateSpec("z", 1, 0, _fixed(Z)),
+        GateSpec("z", 1, 0, _fixed(Z), diagonal=True),
         GateSpec("h", 1, 0, _fixed(H)),
-        GateSpec("s", 1, 0, _fixed(S)),
-        GateSpec("sdg", 1, 0, _fixed(SDG)),
-        GateSpec("t", 1, 0, _fixed(T)),
-        GateSpec("tdg", 1, 0, _fixed(TDG)),
+        GateSpec("s", 1, 0, _fixed(S), diagonal=True),
+        GateSpec("sdg", 1, 0, _fixed(SDG), diagonal=True),
+        GateSpec("t", 1, 0, _fixed(T), diagonal=True),
+        GateSpec("tdg", 1, 0, _fixed(TDG), diagonal=True),
         GateSpec("sx", 1, 0, _fixed(SX)),
-        GateSpec("cx", 2, 0, _fixed(CX)),
-        GateSpec("cz", 2, 0, _fixed(CZ)),
-        GateSpec("swap", 2, 0, _fixed(SWAP)),
+        GateSpec("cx", 2, 0, _fixed(CX), permutation=True),
+        GateSpec("cz", 2, 0, _fixed(CZ), diagonal=True),
+        GateSpec("swap", 2, 0, _fixed(SWAP), permutation=True),
         GateSpec("rx", 1, 1, rx, shift_rule=True, generator="X"),
         GateSpec("ry", 1, 1, ry, shift_rule=True, generator="Y"),
-        GateSpec("rz", 1, 1, rz, shift_rule=True, generator="Z"),
+        GateSpec(
+            "rz", 1, 1, rz, shift_rule=True, generator="Z", diagonal=True
+        ),
         GateSpec("rxx", 2, 1, rxx, shift_rule=True, generator="XX"),
         GateSpec("ryy", 2, 1, ryy, shift_rule=True, generator="YY"),
-        GateSpec("rzz", 2, 1, rzz, shift_rule=True, generator="ZZ"),
+        GateSpec(
+            "rzz", 2, 1, rzz, shift_rule=True, generator="ZZ", diagonal=True
+        ),
         GateSpec("rzx", 2, 1, rzx, shift_rule=True, generator="ZX"),
-        GateSpec("phase", 1, 1, phase),
+        GateSpec("phase", 1, 1, phase, diagonal=True),
         GateSpec("u3", 1, 3, u3),
         GateSpec("crx", 2, 1, crx),
         GateSpec("cry", 2, 1, cry),
-        GateSpec("crz", 2, 1, crz),
+        GateSpec("crz", 2, 1, crz, diagonal=True),
     ]
 }
 
 #: Names of gates that the parameter-shift engine may differentiate.
 SHIFT_RULE_GATES = frozenset(n for n, s in GATES.items() if s.shift_rule)
+
+#: Gates whose unitary is diagonal for every parameter value.
+DIAGONAL_GATES = frozenset(n for n, s in GATES.items() if s.diagonal)
+
+#: Parameterless gates whose unitary is a 0/1 permutation matrix.
+PERMUTATION_GATES = frozenset(n for n, s in GATES.items() if s.permutation)
 
 
 def get_gate(name: str) -> GateSpec:

@@ -95,9 +95,9 @@ def expectation_z_from_prob_matrix(probs: np.ndarray) -> np.ndarray:
     return out
 
 
-def sample_counts_batch(
+def sample_outcome_matrix(
     probs: np.ndarray, shots: int, rng: np.random.Generator
-) -> list[dict[str, int]]:
+) -> np.ndarray:
     """Draw ``shots`` multinomial samples per row of a probability matrix.
 
     One vectorized ``Generator.multinomial`` call covers the whole
@@ -105,13 +105,20 @@ def sample_counts_batch(
     successive single-distribution calls would, so per-circuit sampled
     results are reproducible regardless of whether circuits were
     submitted alone or inside a batch.
+
+    Returns:
+        ``(B, 2^n)`` integer outcome counts, one row per distribution.
     """
     if shots < 1:
         raise ValueError("shots must be positive")
     probs = np.asarray(probs, dtype=np.float64)
     probs = probs / probs.sum(axis=1, keepdims=True)
-    n_qubits = int(np.log2(probs.shape[1]))
-    outcomes = rng.multinomial(shots, probs)
+    return rng.multinomial(shots, probs)
+
+
+def outcome_matrix_to_counts(outcomes: np.ndarray) -> list[dict[str, int]]:
+    """Convert an outcome matrix into per-row bitstring count dicts."""
+    n_qubits = int(np.log2(outcomes.shape[1]))
     results = []
     for row in outcomes:
         counts: dict[str, int] = {}
@@ -119,6 +126,48 @@ def sample_counts_batch(
             counts[format(index, f"0{n_qubits}b")] = int(row[index])
         results.append(counts)
     return results
+
+
+def expectation_z_from_outcome_matrix(outcomes: np.ndarray) -> np.ndarray:
+    """Per-qubit ``<Z>`` estimates for a stack of outcome count rows.
+
+    The vectorized twin of :func:`expectation_z_from_counts`: each row
+    is normalized by its own total and marginalized with the same
+    axis-tuple reductions (a row slice of the stacked C-contiguous
+    tensor has the layout of the standalone tensor, so the per-row
+    reduction order — and therefore every bit of the result — matches
+    the dict-based path exactly; the equivalence tests pin this).
+    """
+    outcomes = np.asarray(outcomes)
+    if outcomes.ndim != 2:
+        raise ValueError("expected a (B, 2^n) outcome matrix")
+    batch, dim = outcomes.shape
+    n_qubits = int(np.log2(dim))
+    if 2**n_qubits != dim:
+        raise ValueError("outcome row length is not a power of two")
+    totals = outcomes.sum(axis=1)
+    if np.any(totals == 0):
+        raise ValueError("counts are empty")
+    tensor = (outcomes / totals[:, None]).reshape((batch,) + (2,) * n_qubits)
+    out = np.empty((batch, n_qubits), dtype=np.float64)
+    for k in range(n_qubits):
+        axes = tuple(a + 1 for a in range(n_qubits) if a != k)
+        marginal = tensor.sum(axis=axes)
+        out[:, k] = marginal[:, 0] - marginal[:, 1]
+    return out
+
+
+def sample_counts_batch(
+    probs: np.ndarray, shots: int, rng: np.random.Generator
+) -> list[dict[str, int]]:
+    """Draw ``shots`` multinomial samples per row of a probability matrix.
+
+    See :func:`sample_outcome_matrix` (which this wraps) for the RNG
+    stream contract.
+    """
+    return outcome_matrix_to_counts(
+        sample_outcome_matrix(probs, shots, rng)
+    )
 
 
 def readout_confusion_matrix(p01: float, p10: float) -> np.ndarray:

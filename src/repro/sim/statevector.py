@@ -13,6 +13,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.sim import apply as _apply
+from repro.sim import compile as _compile
 from repro.sim import gates as _gates
 from repro.sim import measurement as _measurement
 
@@ -98,13 +99,31 @@ class Statevector:
         self._tensor = _apply.apply_matrix(self._tensor, matrix, wires)
         return self
 
-    def evolve(self, circuit) -> "Statevector":
-        """Run a :class:`repro.circuits.QuantumCircuit` on this state."""
+    def evolve(self, circuit, plan=None) -> "Statevector":
+        """Run a :class:`repro.circuits.QuantumCircuit` on this state.
+
+        Args:
+            circuit: The circuit to run.
+            plan: Optional compiled :class:`~repro.sim.compile.
+                ExecutionPlan` for the circuit's structure; when given,
+                the state rides the fused batched kernels as a batch of
+                one (matching the per-gate walk within 1e-10, not
+                bit-exactly).
+        """
         if circuit.n_qubits != self.n_qubits:
             raise ValueError(
                 f"circuit acts on {circuit.n_qubits} qubits, state has "
                 f"{self.n_qubits}"
             )
+        if plan is not None:
+            _compile.check_plan(
+                plan, "statevector", self.n_qubits, len(circuit.templates)
+            )
+            params = _compile.SingleCircuitParams(circuit)
+            self._tensor = plan.run_statevector(
+                self._tensor[np.newaxis], params
+            )[0]
+            return self
         for op in circuit.operations:
             self.apply_gate(op.name, op.wires, *op.params)
         return self

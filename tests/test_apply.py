@@ -161,3 +161,102 @@ class TestExpandMatrix:
     def test_expand_is_unitary(self):
         expanded = ap.expand_matrix(gates.rzx(0.4), [2, 0], 3)
         assert gates.is_unitary(expanded)
+
+
+class TestSpecializedKernels:
+    """Diagonal / permutation kernels match the generic matmul path."""
+
+    def _random_states(self, n_qubits, batch, seed=0):
+        rng = np.random.default_rng(seed)
+        vecs = rng.normal(size=(batch, 2**n_qubits)) + 1j * rng.normal(
+            size=(batch, 2**n_qubits)
+        )
+        vecs /= np.linalg.norm(vecs, axis=1, keepdims=True)
+        return vecs.reshape((batch,) + (2,) * n_qubits)
+
+    @pytest.mark.parametrize("wires", [(0,), (2,), (0, 2), (2, 0)])
+    def test_diag_matches_matmul(self, wires):
+        states = self._random_states(3, 4)
+        rng = np.random.default_rng(1)
+        k = len(wires)
+        diags = np.exp(1j * rng.uniform(-np.pi, np.pi, (4, 2**k)))
+        out = ap.apply_diag_batched(states, diags, wires)
+        reference = ap.apply_matrix_batched(
+            states,
+            np.stack([np.diag(row) for row in diags]),
+            wires,
+        )
+        assert np.allclose(out, reference, atol=1e-12)
+
+    def test_diag_shared_batchwide(self):
+        states = self._random_states(2, 3)
+        diag = np.diagonal(gates.CZ)
+        out = ap.apply_diag_batched(states, diag, (0, 1))
+        reference = ap.apply_matrix_batched(states, gates.CZ, (0, 1))
+        assert np.allclose(out, reference, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "name,wires", [("x", (1,)), ("cx", (0, 2)), ("cx", (2, 0)), ("swap", (1, 2))]
+    )
+    def test_permutation_matches_matmul(self, name, wires):
+        states = self._random_states(3, 4)
+        matrix = gates.GATES[name].matrix()
+        source = np.array(
+            [int(np.nonzero(row)[0][0]) for row in matrix], dtype=np.intp
+        )
+        out = ap.apply_permutation_batched(states, source, wires)
+        reference = ap.apply_matrix_batched(states, matrix, wires)
+        assert np.array_equal(out, reference)
+
+    def test_diag_density_matches_conjugation(self):
+        rhos = np.stack(
+            [random_density(2, seed=s).reshape(4, 4) for s in range(3)]
+        ).reshape((3,) + (2,) * 4)
+        rng = np.random.default_rng(2)
+        diags = np.exp(1j * rng.uniform(-np.pi, np.pi, (3, 4)))
+        out = ap.apply_diag_to_density_batched(rhos, diags, (0, 1))
+        reference = ap.apply_matrix_to_density_batched(
+            rhos, np.stack([np.diag(row) for row in diags]), (0, 1)
+        )
+        assert np.allclose(out, reference, atol=1e-12)
+
+    def test_permutation_density_matches_conjugation(self):
+        rhos = np.stack(
+            [random_density(2, seed=s).reshape(4, 4) for s in range(3)]
+        ).reshape((3,) + (2,) * 4)
+        source = np.array(
+            [int(np.nonzero(row)[0][0]) for row in gates.CX],
+            dtype=np.intp,
+        )
+        out = ap.apply_permutation_to_density_batched(rhos, source, (0, 1))
+        reference = ap.apply_matrix_to_density_batched(
+            rhos, gates.CX, (0, 1)
+        )
+        assert np.array_equal(out, reference)
+
+    def test_bad_diag_length_rejected(self):
+        states = self._random_states(2, 2)
+        with pytest.raises(ValueError, match="diagonal"):
+            ap.apply_diag_batched(states, np.ones(3), (0,))
+
+    def test_bad_permutation_rejected(self):
+        states = self._random_states(2, 2)
+        with pytest.raises(ValueError, match="permutation"):
+            ap.apply_permutation_batched(
+                states, np.array([0, 0]), (1,)
+            )
+
+    def test_expand_matrix_matches_column_construction(self):
+        # The vectorized expand_matrix reproduces the per-basis-column
+        # definition exactly.
+        rng = np.random.default_rng(3)
+        matrix = gates.rzx(0.7)
+        wires, n_qubits = [2, 0], 3
+        expanded = ap.expand_matrix(matrix, wires, n_qubits)
+        for col in range(2**n_qubits):
+            basis = np.zeros(2**n_qubits, dtype=np.complex128)
+            basis[col] = 1.0
+            reference = ap.apply_matrix(
+                basis.reshape((2,) * n_qubits), matrix, wires
+            ).reshape(-1)
+            assert np.array_equal(expanded[:, col], reference)
