@@ -171,6 +171,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"final accuracy {history.final_accuracy:.3f}  "
           f"best {history.best_accuracy:.3f}  "
           f"training circuits {engine.training_inferences()}")
+    if args.engine == "adjoint":
+        from repro.gradients import adjoint_plan_cache
+
+        # The adjoint engine shares an exact backend's own plan cache
+        # (forward runs and backward sweeps reuse the same compiled
+        # plans); otherwise its sweeps hit the engine-level cache.
+        plan_cache = getattr(backend, "plan_cache", None)
+        if plan_cache is None or not backend.exact_execution():
+            plan_cache = adjoint_plan_cache()
+        stats = plan_cache.stats()
+        print(f"adjoint plan cache: {stats['hits']} hits / "
+              f"{stats['misses']} misses "
+              f"(hit rate {stats['hit_rate']:.1%}, "
+              f"{stats['size']} plans)")
     if args.pgp:
         print(f"gradient evaluations skipped: "
               f"{engine.pruner.empirical_savings:.1%}")

@@ -2,7 +2,11 @@
 
 from repro.gradients.adjoint_engine import (
     adjoint_engine_jacobian,
+    adjoint_engine_jacobian_batch,
     adjoint_forward,
+    adjoint_forward_and_jacobian_batch,
+    adjoint_plan_cache,
+    adjoint_plan_for,
 )
 from repro.gradients.finite_difference import finite_difference_jacobian
 from repro.gradients.parameter_shift import (
@@ -17,7 +21,11 @@ from repro.gradients.spsa import spsa_jacobian
 __all__ = [
     "SHIFT",
     "adjoint_engine_jacobian",
+    "adjoint_engine_jacobian_batch",
     "adjoint_forward",
+    "adjoint_forward_and_jacobian_batch",
+    "adjoint_plan_cache",
+    "adjoint_plan_for",
     "build_shifted_circuits",
     "check_shiftable",
     "finite_difference_jacobian",

@@ -1,9 +1,16 @@
 """Adjoint gradient engine with the backend-style calling convention.
 
-Wraps :func:`repro.sim.adjoint.adjoint_jacobian` in the same signature as
-the hardware gradient estimators so the TrainingEngine can swap engines
-freely.  Adjoint differentiation is exact, noise-free, and needs no
-circuit executions — it is the engine behind the Classical-Train baseline.
+Wraps :mod:`repro.sim.adjoint` in the same signature as the hardware
+gradient estimators so the TrainingEngine can swap engines freely.
+Adjoint differentiation is exact, noise-free, and needs no circuit
+executions — it is the engine behind the Classical-Train baseline.
+
+The batch entry points mirror :func:`~repro.gradients.parameter_shift.
+parameter_shift_jacobian_batch`: circuits are grouped by cached
+structure signature (exactly like ``Backend.run``), each group pulls
+its compiled :class:`~repro.sim.compile.ExecutionPlan` from a
+structure-keyed :class:`~repro.sim.compile.PlanCache`, and one batched
+forward pass plus one backward reverse-replay serves the whole group.
 """
 
 from __future__ import annotations
@@ -12,8 +19,141 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.sim.adjoint import adjoint_jacobian
+from repro.circuits.batch import group_by_structure
+from repro.sim import compile as _compile
+from repro.sim.adjoint import adjoint_expectation_and_jacobian_batch
 from repro.sim.statevector import Statevector
+
+#: Structure-keyed plan cache for sweeps without a (suitable) backend —
+#: backendless calls and noisy/sharded backends whose own caches hold
+#: plans of the wrong mode.
+_SHARED_PLAN_CACHE = _compile.PlanCache(128)
+
+
+def adjoint_plan_cache() -> _compile.PlanCache:
+    """The engine's shared plan cache (for stats reporting and tests)."""
+    return _SHARED_PLAN_CACHE
+
+
+def adjoint_plan_for(circuit, backend=None):
+    """Resolve the cached fused statevector plan for a circuit.
+
+    Returns ``None`` when fusion is disabled — the backend's ``fused``
+    flag when it has one, else the global ``REPRO_FUSED`` toggle — which
+    selects the unbatched seed sweep downstream.  An exact backend's own
+    ``plan_cache`` is preferred so forward execution and adjoint sweeps
+    share compiled plans; noisy backends cache *density* plans under the
+    same structure keys, so anything else falls back to the engine's
+    shared statevector cache.
+    """
+    fused = getattr(backend, "fused", None)
+    if fused is None:
+        fused = _compile.fused_enabled()
+    if not fused:
+        return None
+    cache = _SHARED_PLAN_CACHE
+    if (
+        backend is not None
+        and getattr(backend, "plan_cache", None) is not None
+        and backend.exact_execution()
+    ):
+        cache = backend.plan_cache
+    return cache.get_or_compile(
+        circuit.structure_signature(),
+        lambda: _compile.compile_circuit(circuit, mode="statevector"),
+    )
+
+
+def _mask_columns(
+    jacobian: np.ndarray, circuit, param_indices: Sequence[int] | None
+) -> np.ndarray:
+    """Zero the columns of unselected parameters (pruning semantics).
+
+    The full Jacobian is computed either way — it costs a single sweep —
+    but masking keeps pruning behavior identical across engines.
+    """
+    if param_indices is None:
+        return jacobian
+    mask = np.zeros(circuit.num_parameters, dtype=bool)
+    mask[list(param_indices)] = True
+    return jacobian * mask[None, :]
+
+
+def _sweep_groups(circuits, backend):
+    """One batched adjoint sweep per structure group, scattered back.
+
+    Returns ``(expectations, jacobians)`` in submission order —
+    ``(N, n_qubits)`` stacked expectations and a list of
+    ``(n_qubits, n_params)`` Jacobians.
+    """
+    expectations: np.ndarray | None = None
+    jacobians: list = [None] * len(circuits)
+    for positions, members in group_by_structure(circuits):
+        plan = adjoint_plan_for(members[0], backend)
+        exp, jac = adjoint_expectation_and_jacobian_batch(
+            members, plan=plan
+        )
+        if expectations is None:
+            expectations = np.empty(
+                (len(circuits), exp.shape[1]), dtype=np.float64
+            )
+        for row, position in enumerate(positions):
+            expectations[position] = exp[row]
+            jacobians[position] = jac[row]
+    return expectations, jacobians
+
+
+def adjoint_engine_jacobian_batch(
+    circuits,
+    backend=None,
+    shots: int = 0,
+    param_indices: Sequence[int] | None = None,
+    purpose: str = "adjoint",
+) -> list[np.ndarray]:
+    """Exact Jacobians for a mixed-structure submission, one per circuit.
+
+    Groups by cached structure signature (like ``Backend.run``) and runs
+    one batched sweep per group; ``backend``/``shots``/``purpose`` keep
+    API parity with the sampling estimators (adjoint executes no
+    backend circuits, so nothing is metered).
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    _, jacobians = _sweep_groups(circuits, backend)
+    return [
+        _mask_columns(jacobian, circuit, param_indices)
+        for jacobian, circuit in zip(jacobians, circuits)
+    ]
+
+
+def adjoint_forward_and_jacobian_batch(
+    circuits,
+    backend=None,
+    shots: int = 0,
+    param_indices: Sequence[int] | None = None,
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Expectations and Jacobians from one forward pass per group.
+
+    The combined entry point of the adjoint training step: the batched
+    forward state is reused by the backward sweep, so each circuit is
+    simulated exactly once per step instead of twice.  The forward
+    values are metered on ``backend`` under the ``"forward"`` purpose —
+    the same accounting a separate ``backend.expectations`` call would
+    have produced — keeping the paper's inference counts comparable
+    across gradient engines.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        return np.zeros((0, 0), dtype=np.float64), []
+    expectations, jacobians = _sweep_groups(circuits, backend)
+    masked = [
+        _mask_columns(jacobian, circuit, param_indices)
+        for jacobian, circuit in zip(jacobians, circuits)
+    ]
+    if backend is not None:
+        backend.meter.record(len(circuits), 0, "forward")
+    return expectations, masked
 
 
 def adjoint_engine_jacobian(
@@ -29,15 +169,19 @@ def adjoint_engine_jacobian(
     are zeroed (the full Jacobian is computed — it costs a single sweep —
     but masking keeps pruning semantics identical across engines).
     """
-    jacobian = adjoint_jacobian(circuit)
-    if param_indices is not None:
-        mask = np.zeros(circuit.num_parameters, dtype=bool)
-        mask[list(param_indices)] = True
-        jacobian = jacobian * mask[None, :]
-    return jacobian
+    jacobians = adjoint_engine_jacobian_batch(
+        [circuit],
+        backend=backend,
+        shots=shots,
+        param_indices=param_indices,
+        purpose=purpose,
+    )
+    return jacobians[0]
 
 
 def adjoint_forward(circuit, backend=None, shots: int = 0) -> np.ndarray:
     """Exact expectation vector (API parity with backend forward runs)."""
-    state = Statevector(circuit.n_qubits).evolve(circuit)
+    state = Statevector(circuit.n_qubits).evolve(
+        circuit, plan=adjoint_plan_for(circuit, backend)
+    )
     return np.asarray(state.expectation_z(), dtype=np.float64)

@@ -2,9 +2,12 @@
 
 from repro.scaling.cost_model import (
     CircuitWorkload,
+    adjoint_speedup,
+    adjoint_sweep_ops,
     classical_ops,
     classical_registers,
     complexity_table,
+    parameter_shift_sweep_ops,
     quantum_ops,
     quantum_registers,
 )
@@ -21,6 +24,8 @@ from repro.scaling.runtime_model import (
 __all__ = [
     "CircuitWorkload",
     "ExponentialFit",
+    "adjoint_speedup",
+    "adjoint_sweep_ops",
     "advantage_factor",
     "build_benchmark_circuit",
     "classical_memory_gb",
@@ -30,6 +35,7 @@ __all__ = [
     "crossover_qubits",
     "fit_classical_runtime",
     "measure_classical_seconds",
+    "parameter_shift_sweep_ops",
     "quantum_ops",
     "quantum_registers",
     "runtime_table",

@@ -101,6 +101,87 @@ def permutation_gate_ops(n_qubits: int) -> float:
     return 2.0 * 2.0**n_qubits
 
 
+def adjoint_sweep_ops(
+    n_qubits: int,
+    workload: CircuitWorkload = CircuitWorkload(),
+    n_observables: int | None = None,
+) -> float:
+    """Flops of one batched adjoint gradient sweep over the workload.
+
+    The compiled adjoint path (:mod:`repro.sim.adjoint`) pays, per
+    circuit:
+
+    * one forward plan execution — the per-circuit term of
+      :func:`classical_ops`;
+    * one backward reverse-replay that un-applies every gate from the
+      stacked ket-plus-bras tensor — ``(1 + T)`` statevector rows for
+      ``T`` observables, so ``(1 + T)`` times the forward cost; and
+    * per trainable gate, one generator application on the ket plus a
+      ``T``-row overlap contraction (~8 real flops per amplitude per
+      observable: conjugate multiply and reduce).
+
+    Independent of the number of parameters — that is the whole point.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    n_obs = n_qubits if n_observables is None else int(n_observables)
+    if n_obs < 1:
+        raise ValueError("need at least one observable")
+    dim = 2.0**n_qubits
+    per_circuit = (
+        workload.n_rotation_gates * 14.0 * dim / 2.0
+        + workload.n_rzz_gates * 6.0 * dim
+    )
+    contractions = workload.total_gates * (
+        kqubit_gate_ops(n_qubits, 1) + n_obs * 8.0 * dim
+    )
+    return workload.n_circuits * (
+        (2.0 + n_obs) * per_circuit + contractions
+    )
+
+
+def parameter_shift_sweep_ops(
+    n_qubits: int, workload: CircuitWorkload = CircuitWorkload()
+) -> float:
+    """Flops of one full parameter-shift sweep, simulated classically.
+
+    Two forward executions per trainable-gate occurrence (Eq. 2's
+    ``+-pi/2`` pair), with every gate of the workload trainable — the
+    paper's ansatz trains all of its rotation and RZZ angles.
+    """
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    dim = 2.0**n_qubits
+    per_circuit = (
+        workload.n_rotation_gates * 14.0 * dim / 2.0
+        + workload.n_rzz_gates * 6.0 * dim
+    )
+    return workload.n_circuits * 2.0 * workload.total_gates * per_circuit
+
+
+def adjoint_speedup(
+    n_qubits: int,
+    workload: CircuitWorkload = CircuitWorkload(),
+    n_observables: int | None = None,
+) -> float:
+    """Op-count ratio parameter-shift / adjoint for one gradient sweep.
+
+    The crossover is in *parameter count*, not qubit count: parameter
+    shift costs ``2 P`` forward passes for ``P`` trainable-gate
+    occurrences while the adjoint sweep costs roughly ``2 + T`` forward
+    passes plus per-gate contractions for ``T`` observables — so
+    adjoint wins whenever ``P`` exceeds about ``(2 + T) / 2``, i.e. for
+    every training-scale circuit in the paper (48 occurrences vs 4
+    measured qubits).  Parameter shift stays the *hardware* gradient
+    because a physical device exposes no mid-circuit statevector to
+    reverse-replay; this ratio quantifies what the Classical-Train
+    baseline gains by not being a device.
+    """
+    return parameter_shift_sweep_ops(n_qubits, workload) / adjoint_sweep_ops(
+        n_qubits, workload, n_observables=n_observables
+    )
+
+
 def quantum_registers(n_qubits: int) -> float:
     """Physical registers on a quantum device: the ``n`` qubits."""
     if n_qubits < 1:

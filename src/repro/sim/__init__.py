@@ -13,7 +13,11 @@ seed, and cached per structure by the backends (``REPRO_FUSED=0``
 disables plans process-wide).
 """
 
-from repro.sim.adjoint import adjoint_expectation_and_jacobian, adjoint_jacobian
+from repro.sim.adjoint import (
+    adjoint_expectation_and_jacobian,
+    adjoint_expectation_and_jacobian_batch,
+    adjoint_jacobian,
+)
 from repro.sim.apply import (
     apply_diag_batched,
     apply_diag_to_density_batched,
@@ -34,6 +38,7 @@ from repro.sim.batched import BatchedStatevector, run_circuit_batch
 from repro.sim.batched_density import BatchedDensityMatrix, run_density_batch
 from repro.sim.compile import (
     FUSE_MAX,
+    AdjointPlan,
     ExecutionPlan,
     PlanCache,
     compile_circuit,
@@ -69,6 +74,7 @@ __all__ = [
     "GATES",
     "PERMUTATION_GATES",
     "SHIFT_RULE_GATES",
+    "AdjointPlan",
     "BatchedDensityMatrix",
     "BatchedStatevector",
     "DensityMatrix",
@@ -77,6 +83,7 @@ __all__ = [
     "PlanCache",
     "Statevector",
     "adjoint_expectation_and_jacobian",
+    "adjoint_expectation_and_jacobian_batch",
     "adjoint_jacobian",
     "apply_diag_batched",
     "apply_diag_to_density_batched",

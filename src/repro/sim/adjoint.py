@@ -1,17 +1,33 @@
 """Adjoint-mode analytic differentiation of circuit expectations.
 
-Computes the exact Jacobian ``d<Z_k>/d theta_i`` of all per-qubit Pauli-Z
-expectations with respect to all trainable parameters in a single forward
-pass plus one backward sweep — O(gates) statevector applications instead of
-the O(2 * n_params * gates) of parameter shift.  This powers the fast
-noise-free Classical-Train baseline; agreement with parameter shift on the
-ideal backend is the central correctness invariant of the repo (see
-``tests/test_gradients_agreement.py``).
+Computes the exact Jacobian ``d<O_t>/d theta_i`` of Pauli-Z-word
+observables with respect to all trainable parameters in a single forward
+pass plus one backward sweep — O(gates) statevector applications instead
+of the O(2 * n_params * gates) of parameter shift.  This powers the fast
+noise-free Classical-Train baseline; agreement with parameter shift on
+the ideal backend is the central correctness invariant of the repo (see
+``tests/test_gradient_baselines.py`` and ``tests/test_adjoint_batched.py``).
 
 Derivation: with ``|psi_j> = U_j ... U_1 |0>`` and
 ``<b_j| = <psi_N| O U_N ... U_{j+1}``, the derivative of
 ``f = <psi_N|O|psi_N>`` w.r.t. the parameter of gate ``j`` (of generator
 ``G``, ``U_j = exp(-i theta G / 2)``) is ``Im(<b_j| G |psi_j>)``.
+
+Two sweep implementations coexist:
+
+* :func:`adjoint_expectation_and_jacobian_batch` — the batched kernel.
+  ``B`` same-structure circuits run one vectorized forward pass through
+  a compiled :class:`~repro.sim.compile.ExecutionPlan` on a
+  :class:`~repro.sim.batched.BatchedStatevector`, then one backward
+  reverse-replay of the plan's :meth:`~repro.sim.compile.ExecutionPlan.
+  adjoint` lowering advances the ket and every observable bra of every
+  circuit together in a single ``((1 + T) * B,) + (2,)*n`` stack.  Each
+  per-circuit slice is bit-identical to running the same plan as a
+  batch of one — the kernels reduce each slice to the same GEMMs and
+  reductions regardless of batch size.
+* The sequential seed sweep (``plan=None``) — the original per-gate
+  implementation, kept op-for-op intact as the ``REPRO_FUSED=0`` escape
+  path; its results are bit-identical to the pre-batching code.
 """
 
 from __future__ import annotations
@@ -20,27 +36,16 @@ import numpy as np
 
 from repro.sim import apply as _apply
 from repro.sim import gates as _gates
+from repro.sim.batched import BatchedStatevector
 from repro.sim.statevector import Statevector
 
 
-def adjoint_jacobian(circuit) -> np.ndarray:
-    """Exact Jacobian of per-qubit Z expectations w.r.t. trainable params.
+def _default_observables(n_qubits: int) -> tuple[tuple[int, ...], ...]:
+    """Per-qubit ``Z_k`` — the measurement layer of the paper's QNN."""
+    return tuple((k,) for k in range(n_qubits))
 
-    Args:
-        circuit: a :class:`repro.circuits.QuantumCircuit`.  All trainable
-            operations must use shift-rule gates (single-parameter Pauli
-            rotations), which is true of every ansatz in the paper.
 
-    Returns:
-        Array of shape ``(n_qubits, n_params)`` where entry ``(k, i)`` is
-        ``d<Z_k>/d theta_i``.  Multiple occurrences of one parameter are
-        summed, matching Sec. 3.1's multi-occurrence rule.
-    """
-    n_qubits = circuit.n_qubits
-    n_params = circuit.num_parameters
-    jacobian = np.zeros((n_qubits, n_params), dtype=np.float64)
-
-    ops = list(circuit.operations)
+def _check_shift_rule(ops) -> None:
     for op in ops:
         if op.param_index is not None:
             spec = _gates.get_gate(op.name)
@@ -50,16 +55,40 @@ def adjoint_jacobian(circuit) -> np.ndarray:
                     f"trainable gates, got {op.name!r}"
                 )
 
-    # Forward pass.
-    ket = Statevector(n_qubits)
-    for op in ops:
-        ket.apply_gate(op.name, op.wires, *op.params)
 
-    # One adjoint state per observable Z_k.
+def _seed_sweep(
+    circuit, observables: tuple[tuple[int, ...], ...], ket=None
+) -> np.ndarray:
+    """The sequential per-gate adjoint sweep (seed implementation).
+
+    Kept operation-for-operation identical to the pre-batching code so
+    its results stay bit-identical to the seed; generalized only in
+    letting the caller pass a pre-evolved forward state (avoiding a
+    second simulation) and letting each observable be a Z *word* over
+    several wires instead of one ``Z_k``.
+
+    Returns the ``(T, n_params)`` Jacobian.
+    """
+    n_params = circuit.num_parameters
+    jacobian = np.zeros((len(observables), n_params), dtype=np.float64)
+
+    ops = list(circuit.operations)
+    _check_shift_rule(ops)
+
+    # Forward pass (unless the caller already ran it).
+    if ket is None:
+        ket = Statevector(circuit.n_qubits)
+        for op in ops:
+            ket.apply_gate(op.name, op.wires, *op.params)
+    else:
+        ket = ket.copy()
+
+    # One adjoint state per observable.
     bras = []
-    for k in range(n_qubits):
+    for wires in observables:
         bra = ket.copy()
-        bra.apply_matrix(_gates.Z, [k])
+        for wire in wires:
+            bra.apply_matrix(_gates.Z, [wire])
         bras.append(bra)
 
     # Backward sweep.
@@ -68,9 +97,9 @@ def adjoint_jacobian(circuit) -> np.ndarray:
             spec = _gates.get_gate(op.name)
             generator = _gates.pauli_word_matrix(spec.generator)
             g_ket = _apply.apply_matrix(ket.tensor, generator, op.wires)
-            for k in range(n_qubits):
-                overlap = np.vdot(bras[k].tensor, g_ket)
-                jacobian[k, op.param_index] += float(np.imag(overlap))
+            for index, bra in enumerate(bras):
+                overlap = np.vdot(bra.tensor, g_ket)
+                jacobian[index, op.param_index] += float(np.imag(overlap))
         # Un-apply the gate from ket and all bras.
         matrix = _gates.get_gate(op.name).matrix(*op.params)
         inverse = matrix.conj().T
@@ -81,9 +110,172 @@ def adjoint_jacobian(circuit) -> np.ndarray:
     return jacobian
 
 
-def adjoint_expectation_and_jacobian(circuit) -> tuple[np.ndarray, np.ndarray]:
-    """Convenience: exact ``<Z>`` vector and its Jacobian in one call."""
-    state = Statevector(circuit.n_qubits)
-    state.evolve(circuit)
-    expectations = np.asarray(state.expectation_z(), dtype=np.float64)
-    return expectations, adjoint_jacobian(circuit)
+def _observable_signs(
+    n_qubits: int, observables: tuple[tuple[int, ...], ...]
+) -> np.ndarray:
+    """``(T,) + (2,)*n`` sign tensors of the Z-word observables.
+
+    Entry ``t`` is the diagonal of ``prod_{w in observables[t]} Z_w`` as
+    a broadcastable tensor — multiplying a ket by it is exactly applying
+    the observable (every entry is ``+-1``, so the elementwise product
+    is an exact sign flip, bit-identical to the Z matmuls).
+    """
+    z_diag = np.array([1.0, -1.0])
+    one = np.ones(2)
+    signs = np.empty((len(observables),) + (2,) * n_qubits, dtype=np.float64)
+    for index, wires in enumerate(observables):
+        tensor = np.array(1.0)
+        for qubit in range(n_qubits):
+            tensor = np.multiply.outer(
+                tensor, z_diag if qubit in wires else one
+            )
+        signs[index] = tensor
+    return signs
+
+
+def adjoint_expectation_and_jacobian_batch(
+    circuits, plan=None, observables=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched adjoint sweep over same-structure circuits.
+
+    One vectorized forward pass and one backward reverse-replay compute
+    every observable expectation and its full Jacobian for every
+    circuit.
+
+    Args:
+        circuits: Non-empty sequence of structurally identical
+            :class:`~repro.circuits.QuantumCircuit` objects.
+        plan: Compiled statevector :class:`~repro.sim.compile.
+            ExecutionPlan` for the shared structure.  ``None`` selects
+            the unbatched escape path: one sequential seed sweep per
+            circuit, bit-identical to the seed implementation.
+        observables: Optional sequence of Z-word wire tuples (e.g.
+            ``[(0,), (1, 3)]`` for ``Z_0`` and ``Z_1 Z_3``); defaults to
+            the per-qubit ``Z_k`` measurement layer.
+
+    Returns:
+        ``(expectations, jacobians)`` with shapes ``(B, T)`` and
+        ``(B, T, n_params)``; multiple occurrences of one parameter are
+        summed, matching Sec. 3.1's multi-occurrence rule.
+    """
+    circuits = list(circuits)
+    if not circuits:
+        raise ValueError("need at least one circuit")
+    n_qubits = circuits[0].n_qubits
+    n_params = circuits[0].num_parameters
+    if observables is None:
+        obs = _default_observables(n_qubits)
+    else:
+        obs = tuple(tuple(int(w) for w in wires) for wires in observables)
+
+    if plan is None:
+        expectations = np.empty((len(circuits), len(obs)), dtype=np.float64)
+        jacobians = np.empty(
+            (len(circuits), len(obs), n_params), dtype=np.float64
+        )
+        for index, circuit in enumerate(circuits):
+            state = Statevector(n_qubits).evolve(circuit)
+            expectations[index] = _state_expectations(state, obs, n_qubits)
+            jacobians[index] = _seed_sweep(circuit, obs, ket=state)
+        return expectations, jacobians
+
+    # Deferred import: repro.circuits pulls the gate registry out of
+    # repro.sim at package-init time, so a module-level import here
+    # would be circular.
+    from repro.circuits.batch import CircuitBatch
+
+    batch = CircuitBatch(circuits)
+    # Build (and thereby validate) the backward lowering before paying
+    # for the forward pass — unsupported trainable gates fail up front,
+    # matching the seed sweep's error ordering.
+    adjoint = plan.adjoint()
+    size = batch.size
+    state = BatchedStatevector(n_qubits, size).evolve(batch, plan=plan)
+    signs = _observable_signs(n_qubits, obs)
+    if observables is None:
+        expectations = state.expectation_z()
+    else:
+        expectations = state.probabilities() @ signs.reshape(len(obs), -1).T
+
+    jacobian = np.zeros((len(obs), size, n_params), dtype=np.float64)
+    trainable = any(
+        template.param_index is not None for template in batch.templates
+    )
+    if obs and trainable:
+        # Combined stack: ket rows first, then one B-row group of bras
+        # per observable (ket scaled by the observable's sign diagonal).
+        combined = np.empty(
+            ((1 + len(obs)) * size,) + (2,) * n_qubits, dtype=np.complex128
+        )
+        combined[:size] = state.tensor
+        for index in range(len(obs)):
+            combined[(1 + index) * size : (2 + index) * size] = (
+                state.tensor * signs[index]
+            )
+        adjoint.run(combined, size, batch, jacobian)
+    return expectations, jacobian.transpose(1, 0, 2)
+
+
+def _state_expectations(
+    state: Statevector, obs: tuple[tuple[int, ...], ...], n_qubits: int
+) -> np.ndarray:
+    """Observable expectations of one state, seed-path readout.
+
+    Per-qubit Z observables go through :meth:`Statevector.
+    expectation_z` — the exact readout the backends use, keeping the
+    escape path's forward values bit-identical to a backend forward
+    run.  General Z words contract the probability vector against the
+    observables' sign diagonals.
+    """
+    if obs == _default_observables(n_qubits):
+        return np.asarray(state.expectation_z(), dtype=np.float64)
+    signs = _observable_signs(n_qubits, obs)
+    return state.probabilities() @ signs.reshape(len(obs), -1).T
+
+
+def adjoint_jacobian(circuit, plan=None) -> np.ndarray:
+    """Exact Jacobian of per-qubit Z expectations w.r.t. trainable params.
+
+    Args:
+        circuit: a :class:`repro.circuits.QuantumCircuit`.  All trainable
+            operations must use shift-rule gates (single-parameter Pauli
+            rotations), which is true of every ansatz in the paper.
+        plan: Optional compiled statevector plan for the circuit's
+            structure; when given the circuit rides the batched adjoint
+            kernel as a batch of one (bit-identical to its slice of any
+            larger batch).  ``None`` runs the sequential seed sweep.
+
+    Returns:
+        Array of shape ``(n_qubits, n_params)`` where entry ``(k, i)`` is
+        ``d<Z_k>/d theta_i``.  Multiple occurrences of one parameter are
+        summed, matching Sec. 3.1's multi-occurrence rule.
+    """
+    if plan is None:
+        return _seed_sweep(
+            circuit, _default_observables(circuit.n_qubits)
+        )
+    _, jacobians = adjoint_expectation_and_jacobian_batch(
+        [circuit], plan=plan
+    )
+    return jacobians[0]
+
+
+def adjoint_expectation_and_jacobian(
+    circuit, plan=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``<Z>`` vector and its Jacobian from one forward pass.
+
+    The forward state is computed once and reused by the backward sweep
+    (the seed version simulated the circuit twice).
+    """
+    if plan is None:
+        state = Statevector(circuit.n_qubits).evolve(circuit)
+        expectations = np.asarray(state.expectation_z(), dtype=np.float64)
+        jacobian = _seed_sweep(
+            circuit, _default_observables(circuit.n_qubits), ket=state
+        )
+        return expectations, jacobian
+    expectations, jacobians = adjoint_expectation_and_jacobian_batch(
+        [circuit], plan=plan
+    )
+    return expectations[0], jacobians[0]

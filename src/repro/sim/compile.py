@@ -718,15 +718,26 @@ class ExecutionPlan:
         steps: The ordered specialized steps.
         n_source_ops: Gate count of the source structure, used to guard
             against running a plan against a mismatched batch.
+        param_indices: Per-source-position trainable parameter index
+            (``None`` for fixed or bound ops) — the trainable-gate
+            boundaries :meth:`adjoint` differentiates at.  ``None``
+            when the plan was built without this metadata.
     """
 
     def __init__(
-        self, n_qubits: int, mode: str, steps: list, n_source_ops: int
+        self,
+        n_qubits: int,
+        mode: str,
+        steps: list,
+        n_source_ops: int,
+        param_indices: tuple | None = None,
     ):
         self.n_qubits = n_qubits
         self.mode = mode
         self.steps = steps
         self.n_source_ops = n_source_ops
+        self.param_indices = param_indices
+        self._adjoint = None
         self._param_groups = _build_param_groups(steps)
         layout = _Layout((2 * n_qubits if mode == "density" else n_qubits) + 1)
         for step in steps:
@@ -756,6 +767,17 @@ class ExecutionPlan:
         if self._restore is not None:
             tensor = tensor.transpose(self._restore)
         return tensor
+
+    def adjoint(self) -> "AdjointPlan":
+        """The plan's backward (reverse-replay) lowering, built lazily.
+
+        The :class:`AdjointPlan` is a pure value derived from the plan's
+        structure, so it is compiled once and cached on the plan —
+        every adjoint sweep over a cached structure reuses it.
+        """
+        if self._adjoint is None:
+            self._adjoint = AdjointPlan(self)
+        return self._adjoint
 
     def step_counts(self) -> dict[str, int]:
         """Histogram of step kinds (``matmul`` / ``diag`` / ...)."""
@@ -835,6 +857,280 @@ def check_plan(
             f"plan was compiled from {plan.n_source_ops} ops, circuit "
             f"has {n_ops}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Adjoint lowering
+# ---------------------------------------------------------------------------
+#
+# The backward sweep of adjoint differentiation reverse-replays the
+# plan: starting from the forward output, it walks the steps in reverse,
+# un-applying each one from a combined (ket + observable bras) stack and
+# pausing at every trainable-gate boundary to contract the gate's
+# generator between ket and bras.  Each forward step kind lowers to a
+# backward twin that folds the per-step inverse in at lowering time
+# (constant inverses and permutation inverse gathers precomputed;
+# parameterized inverses fetched as conjugate transposes of the same
+# prepared stacks the forward pass uses).  The combined stack carries
+# ``(1 + T) * B`` rows — rows ``[0:B]`` the kets of the ``B`` batched
+# circuits, rows ``[(1 + t) * B : (2 + t) * B]`` the bras of observable
+# ``t`` — so one kernel application advances every circuit and every
+# observable at once.  Backward steps run in the canonical axis order
+# (``run_statevector`` restores it before returning), so the deferred
+# forward layout needs no mirroring here.
+
+def _tile_rows(matrices: np.ndarray, replicas: int) -> np.ndarray:
+    """Repeat per-circuit ``(B, ...)`` stacks across the combined rows.
+
+    Row ``r`` of the combined stack belongs to circuit ``r % B``, so a
+    plain ``np.tile`` along axis 0 lines the matrices up; shared 2-D
+    matrices broadcast as-is.
+    """
+    if matrices.ndim == 2:
+        return matrices
+    return np.tile(matrices, (replicas,) + (1,) * (matrices.ndim - 1))
+
+
+def _adjoint_shift_spec(name: str) -> _gates.GateSpec:
+    spec = _gates.get_gate(name)
+    if not (spec.shift_rule and spec.generator is not None):
+        raise ValueError(
+            f"adjoint differentiation requires Pauli-rotation "
+            f"trainable gates, got {name!r}"
+        )
+    return spec
+
+
+class _AdjointMatmul:
+    """Backward twin of a matmul-kind step (fused or constant block).
+
+    Walks the block's factors in reverse, lazily composing their
+    inverses into one ``pending`` matrix; at each trainable factor the
+    pending inverse is flushed (bringing ket and bras exactly to that
+    gate's boundary) and the factor's pre-embedded generator is
+    contracted between them.  Blocks with no trainable factor collapse
+    to a single inverse matmul.
+    """
+
+    def __init__(self, wires: tuple[int, ...], items: list):
+        self._axes = [w + 1 for w in wires]
+        self._items = items
+
+    def _flush(self, combined, pending, replicas):
+        return _apply.matmul_on_axes(
+            combined, _tile_rows(pending, replicas), self._axes
+        )
+
+    def run(self, combined, batch, matrices, jacobian):
+        replicas = combined.shape[0] // batch
+        pending = None
+        for item in self._items:
+            kind = item[0]
+            if kind == "const":
+                inverse = item[1]
+            elif kind == "param":
+                inverse = matrices[item[1]].conj().swapaxes(-1, -2)
+            else:  # "train"
+                _, position, param_index, generator = item
+                if pending is not None:
+                    combined = self._flush(combined, pending, replicas)
+                    pending = None
+                ket = combined[:batch]
+                g_ket = _apply.matmul_on_axes(ket, generator, self._axes)
+                bras = combined[batch:].reshape(
+                    (replicas - 1, batch) + ket.shape[1:]
+                )
+                overlaps = (
+                    (bras.conj() * g_ket[None])
+                    .reshape(replicas - 1, batch, -1)
+                    .sum(axis=-1)
+                )
+                jacobian[:, :, param_index] += overlaps.imag
+                inverse = matrices[position].conj().swapaxes(-1, -2)
+            pending = (
+                inverse if pending is None else np.matmul(inverse, pending)
+            )
+        if pending is not None:
+            combined = self._flush(combined, pending, replicas)
+        return combined
+
+
+class _AdjointPermutation:
+    """Backward twin of a permutation step: the inverse gather."""
+
+    def __init__(self, wires: tuple[int, ...], source: np.ndarray):
+        self._wires = wires
+        self._inverse = np.argsort(source)
+
+    def run(self, combined, batch, matrices, jacobian):
+        return _apply.apply_permutation_batched(
+            combined, self._inverse, self._wires
+        )
+
+
+class _AdjointDiag:
+    """Backward twin of a diagonal block.
+
+    Un-applying a unit-modulus diagonal multiplies ket and bras by the
+    same conjugate factor, so ``conj(bra) * ket`` is invariant across
+    the whole block — every trainable diagonal factor's generator
+    contraction (a signed elementwise sum) can therefore be evaluated
+    once at the block boundary before the single conjugate multiply
+    that un-applies the block.
+    """
+
+    def __init__(self, step: DiagStep, contractions: list):
+        self._step = step
+        self._contractions = contractions
+
+    def run(self, combined, batch, matrices, jacobian):
+        if self._contractions:
+            ket = combined[:batch]
+            n_bras = combined.shape[0] // batch - 1
+            bras = combined[batch:].reshape(
+                (n_bras, batch) + ket.shape[1:]
+            )
+            weights = bras.conj() * ket[None]
+            axes = [w + 2 for w in self._step.wires]
+            for param_index, signs in self._contractions:
+                factor = _apply._diag_to_axes(signs, axes, weights.ndim)
+                overlaps = (
+                    (weights * factor)
+                    .reshape(n_bras, batch, -1)
+                    .sum(axis=-1)
+                )
+                jacobian[:, :, param_index] += overlaps.imag
+        diags = np.asarray(self._step.diags(matrices)).conj()
+        if diags.ndim == 2:
+            diags = np.tile(diags, (combined.shape[0] // batch, 1))
+        return _apply.apply_diag_batched(
+            combined, diags, self._step.wires
+        )
+
+
+class AdjointPlan:
+    """The backward lowering of a statevector :class:`ExecutionPlan`.
+
+    Built once per plan (see :meth:`ExecutionPlan.adjoint`); lowering
+    validates that every trainable gate is a Pauli rotation and that no
+    specialization swallowed a trainable-gate boundary, then records
+    one backward step per forward step, in reverse order.
+
+    :meth:`run` advances a combined ``((1 + T) * B,) + (2,) * n`` stack
+    (ket rows first, then ``T`` observable-bra groups) from the forward
+    output back to ``|0>``, accumulating generator contractions into a
+    ``(T, B, n_params)`` Jacobian along the way.
+    """
+
+    def __init__(self, plan: ExecutionPlan):
+        if plan.mode != "statevector":
+            raise ValueError(
+                "adjoint differentiation requires a statevector plan, "
+                f"got {plan.mode!r}"
+            )
+        if plan.param_indices is None:
+            raise ValueError(
+                "plan was compiled without parameter-index metadata; "
+                "recompile via compile_circuit to differentiate it"
+            )
+        self.plan = plan
+        indices = plan.param_indices
+        trainable = {
+            position
+            for position, index in enumerate(indices)
+            if index is not None
+        }
+        covered: set[int] = set()
+        steps: list = []
+        for step in reversed(plan.steps):
+            if isinstance(step, ConstantStep):
+                steps.append(
+                    _AdjointMatmul(
+                        step.wires, [("const", step.matrix.conj().T)]
+                    )
+                )
+            elif isinstance(step, FusedStep):
+                items: list = []
+                for factor in reversed(step.factors):
+                    if factor.position is None:
+                        items.append(("const", factor.matrix.conj().T))
+                    elif indices[factor.position] is None:
+                        items.append(("param", factor.position))
+                    else:
+                        spec = _adjoint_shift_spec(factor.name)
+                        generator = _EMBEDDINGS[factor.embed](
+                            _gates.pauli_word_matrix(spec.generator)
+                        )
+                        covered.add(factor.position)
+                        items.append(
+                            (
+                                "train",
+                                factor.position,
+                                indices[factor.position],
+                                generator,
+                            )
+                        )
+                steps.append(_AdjointMatmul(step.wires, items))
+            elif isinstance(step, PermutationStep):
+                steps.append(_AdjointPermutation(step.wires, step.source))
+            elif isinstance(step, DiagStep):
+                contractions = []
+                for op in step.ops:
+                    if indices[op.position] is None:
+                        continue
+                    spec = _adjoint_shift_spec(op.name)
+                    signs = np.real(
+                        np.diagonal(
+                            _gates.pauli_word_matrix(spec.generator)
+                        )
+                    )[op.jmap].copy()
+                    covered.add(op.position)
+                    contractions.append((indices[op.position], signs))
+                steps.append(_AdjointDiag(step, contractions))
+            else:
+                raise ValueError(
+                    f"cannot differentiate through a {step.kind!r} step"
+                )
+        if covered != trainable:
+            missing = sorted(trainable - covered)
+            raise RuntimeError(
+                f"trainable gates at positions {missing} were folded "
+                f"into non-differentiable steps; fusion must not "
+                f"swallow a trainable gate"
+            )
+        self._steps = steps
+
+    def run(
+        self,
+        combined: np.ndarray,
+        batch: int,
+        params,
+        jacobian: np.ndarray,
+    ) -> np.ndarray:
+        """Reverse-replay the plan over a combined ket/bra stack.
+
+        Args:
+            combined: ``((1 + T) * B,) + (2,) * n`` tensor in canonical
+                axis order — the forward output kets in rows ``[0:B]``
+                and each observable's bras in the following ``B``-row
+                groups.
+            batch: ``B``, the number of batched circuits.
+            params: The batch parameter source (``CircuitBatch`` or
+                ``SingleCircuitParams``) the forward pass ran with.
+            jacobian: ``(T, B, n_params)`` float64 accumulator; entry
+                ``(t, b, i)`` receives ``d<O_t>/d theta_i`` of circuit
+                ``b``, occurrences summed.
+
+        Returns:
+            The fully un-applied combined stack (ket rows back at
+            ``|0>`` up to roundoff).
+        """
+        matrices = _prepare_matrices(
+            self.plan._param_groups, self.plan.n_source_ops, params
+        )
+        for step in self._steps:
+            combined = step.run(combined, batch, matrices, jacobian)
+        return combined
 
 
 # ---------------------------------------------------------------------------
@@ -1260,6 +1556,9 @@ def compile_circuit(
         mode=mode,
         steps=steps,
         n_source_ops=len(ops),
+        param_indices=tuple(
+            template.param_index for template in circuit.templates
+        ),
     )
 
 

@@ -32,7 +32,10 @@ import numpy as np
 from repro.circuits.ansatz import QnnArchitecture, get_architecture
 from repro.data.dataset import BatchSampler, Dataset
 from repro.data.splits import load_task
-from repro.gradients.adjoint_engine import adjoint_engine_jacobian
+from repro.gradients.adjoint_engine import (
+    adjoint_engine_jacobian_batch,
+    adjoint_forward_and_jacobian_batch,
+)
 from repro.gradients.finite_difference import finite_difference_jacobian
 from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
 from repro.gradients.spsa import spsa_jacobian
@@ -153,10 +156,9 @@ class TrainingEngine:
                 shots=self.config.shots, param_indices=indices,
             )
         if engine == "adjoint":
-            return [
-                adjoint_engine_jacobian(c, param_indices=indices)
-                for c in circuits
-            ]
+            return adjoint_engine_jacobian_batch(
+                circuits, self.backend, param_indices=indices
+            )
         if engine == "finite_difference":
             return [
                 finite_difference_jacobian(
@@ -192,10 +194,25 @@ class TrainingEngine:
             for row in features
         ]
 
-        # Part 2 (Fig. 4 right): forward run + classical loss backprop.
-        expectations = self.backend.expectations(
-            circuits, shots=config.shots, purpose="forward"
-        )
+        # Parts 1 + 2 (Fig. 4): forward expectations and Jacobians.  The
+        # adjoint engine computes both from a single batched sweep per
+        # structure group — the forward state feeds the backward
+        # reverse-replay directly, so no circuit is simulated twice.
+        # Other engines run a forward submission, then their own
+        # gradient circuits.
+        if config.gradient_engine == "adjoint":
+            expectations, jacobians = adjoint_forward_and_jacobian_batch(
+                circuits,
+                backend=self.backend,
+                param_indices=[int(i) for i in selected],
+            )
+        else:
+            expectations = self.backend.expectations(
+                circuits, shots=config.shots, purpose="forward"
+            )
+            jacobians = self._jacobians(circuits, selected)
+
+        # Part 2 (Fig. 4 right): classical loss backprop.
         logits = logits_from_expectations(
             expectations, self.architecture.n_classes
         )
@@ -203,9 +220,6 @@ class TrainingEngine:
         expectation_grads = expectation_grad_from_logit_grad(
             logit_grads, self.architecture.n_qubits
         )
-
-        # Part 1 (Fig. 4 left): Jacobians on the quantum device.
-        jacobians = self._jacobians(circuits, selected)
 
         # Part 3: chain rule, summed over the batch (cross_entropy's grad
         # already carries the 1/batch factor).

@@ -14,13 +14,19 @@ import dataclasses
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.gradients.adjoint_engine import adjoint_plan_for
 from repro.gradients.parameter_shift import SHIFT
 from repro.ml.optim import make_optimizer
 from repro.ml.schedulers import CosineScheduler
 from repro.pruning.pruner import GradientPruner, NoPruner
 from repro.pruning.schedule import PruningHyperparams
+from repro.sim.adjoint import adjoint_expectation_and_jacobian_batch
 from repro.vqe.hamiltonian import Hamiltonian
-from repro.vqe.measurement import circuits_per_energy, measure_hamiltonian
+from repro.vqe.measurement import (
+    basis_rotation_circuit,
+    circuits_per_energy,
+    measure_hamiltonian,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +53,12 @@ class VqeEngine:
         pruning: Optional PGP hyper-parameters.
         pruning_sampler: ``"probabilistic"`` or ``"deterministic"``.
         seed: Pruner seed.
+        gradient_engine: ``"parameter_shift"`` (the in-situ default) or
+            ``"adjoint"`` — the exact Classical-Train gradient.  Adjoint
+            runs one batched sweep per measurement-basis group, with
+            every term of the group as a Z-word observable of the same
+            rotated circuit, and requires an exact backend (a noisy
+            evolution has no statevector to reverse-replay).
     """
 
     def __init__(
@@ -62,11 +74,20 @@ class VqeEngine:
         pruning: PruningHyperparams | None = None,
         pruning_sampler: str = "probabilistic",
         seed: int = 0,
+        gradient_engine: str = "parameter_shift",
     ):
         if ansatz.n_qubits != hamiltonian.n_qubits:
             raise ValueError("ansatz/Hamiltonian width mismatch")
         if ansatz.num_parameters == 0:
             raise ValueError("ansatz has no trainable parameters")
+        if gradient_engine not in ("parameter_shift", "adjoint"):
+            raise ValueError(f"unknown gradient engine {gradient_engine!r}")
+        if gradient_engine == "adjoint" and not backend.exact_execution():
+            raise ValueError(
+                "adjoint VQE gradients require an exact backend (noisy "
+                "evolution has no statevector to reverse-replay)"
+            )
+        self.gradient_engine = gradient_engine
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz.copy()
         self.backend = backend
@@ -100,7 +121,9 @@ class VqeEngine:
         )
 
     def gradient(self, param_indices: np.ndarray) -> np.ndarray:
-        """Parameter-shift gradient of the energy for selected params."""
+        """Energy gradient for the selected params (engine dispatch)."""
+        if self.gradient_engine == "adjoint":
+            return self._adjoint_gradient(param_indices)
         grads = np.zeros_like(self.theta)
         circuit = self.ansatz.bound(self.theta)
         for index in param_indices:
@@ -117,6 +140,49 @@ class VqeEngine:
                 )
                 grads[index] += 0.5 * (energy_plus - energy_minus)
         return grads
+
+    def _adjoint_gradient(self, param_indices: np.ndarray) -> np.ndarray:
+        """Exact energy gradient: one batched sweep per basis group.
+
+        Every measurement-basis group of the Hamiltonian maps to one
+        rotated circuit; each term in the group becomes a Z-word
+        observable over its non-identity qubits, so a single adjoint
+        sweep yields ``d<term>/d theta`` for all of the group's terms
+        at once.  Identity terms are constants and contribute nothing.
+        Unselected parameters are masked to zero (the sweep computes
+        the full gradient either way), matching the pruning semantics
+        of the other engines.
+        """
+        circuit = self.ansatz.bound(self.theta)
+        groups = self.hamiltonian.measurement_groups()
+        grads = np.zeros_like(self.theta)
+        for basis in sorted(groups):
+            terms = [
+                term
+                for term in groups[basis]
+                if any(ch != "I" for ch in term.word.upper())
+            ]
+            if not terms:
+                continue
+            rotated = circuit.compose(basis_rotation_circuit(basis))
+            observables = [
+                tuple(
+                    wire
+                    for wire, ch in enumerate(term.word.upper())
+                    if ch != "I"
+                )
+                for term in terms
+            ]
+            _, jacobians = adjoint_expectation_and_jacobian_batch(
+                [rotated],
+                plan=adjoint_plan_for(rotated, self.backend),
+                observables=observables,
+            )
+            for index, term in enumerate(terms):
+                grads += term.coefficient * jacobians[0][index]
+        mask = np.zeros(self.theta.size, dtype=bool)
+        mask[param_indices] = True
+        return grads * mask
 
     # -- optimization loop ----------------------------------------------------
 

@@ -1,0 +1,284 @@
+"""Batched, plan-aware adjoint gradients: agreement and bit-identity.
+
+The contracts under test (the correctness spine of the compiled adjoint
+path):
+
+* the batched sweep over ``B`` same-structure circuits is bit-identical
+  to running each circuit as a batch of one through the same plan;
+* plan-path Jacobians agree with the sequential seed sweep and with
+  parameter shift within 1e-8, on logical and transpiled circuits,
+  including multi-occurrence parameters;
+* ``param_indices`` masking zeroes exactly the unselected columns;
+* the ``fused=False`` escape path is bit-identical to the seed
+  implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import QuantumCircuit, build_layered_ansatz
+from repro.circuits.transpile import decompose_to_basis, transpile
+from repro.gradients import (
+    adjoint_engine_jacobian_batch,
+    adjoint_forward_and_jacobian_batch,
+    adjoint_plan_for,
+)
+from repro.gradients.parameter_shift import parameter_shift_jacobian_batch
+from repro.hardware import IdealBackend, NoisyBackend
+from repro.sim import adjoint_jacobian
+from repro.sim import compile as sim_compile
+from repro.sim.adjoint import adjoint_expectation_and_jacobian_batch
+from repro.training.config import TrainingConfig
+from repro.training.engine import TrainingEngine
+from repro.vqe import (
+    VqeEngine,
+    hardware_efficient_ansatz,
+    transverse_field_ising,
+)
+
+N_QUBITS = 3
+BATCH = 3
+
+LAYER_SETS = st.lists(
+    st.sampled_from(["rx", "ry", "rz", "rzz", "rxx", "rzx", "cz"]),
+    min_size=1,
+    max_size=4,
+)
+
+
+def make_batch(layers, seed: int, n_qubits: int = N_QUBITS) -> list:
+    """BATCH same-structure circuits with independent random parameters."""
+    base = build_layered_ansatz(n_qubits, layers)
+    rng = np.random.default_rng(seed)
+    return [
+        base.bound(rng.uniform(-np.pi, np.pi, base.num_parameters))
+        for _ in range(BATCH)
+    ]
+
+
+def shared_param_circuit() -> QuantumCircuit:
+    """Three parameters, two of which occur twice each."""
+    circuit = QuantumCircuit(N_QUBITS)
+    circuit.add_trainable("ry", 0, 0)
+    circuit.add_trainable("rzz", (0, 1), 1)
+    circuit.add_trainable("ry", 1, 0)  # param 0 again
+    circuit.add_trainable("rx", 2, 2)
+    circuit.add("cz", (1, 2))
+    circuit.add_trainable("rzz", (1, 2), 1)  # param 1 again
+    circuit.bind([0.4, -0.9, 1.3])
+    return circuit
+
+
+class TestBatchedBitIdentity:
+    @given(layers=LAYER_SETS, seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_batched_equals_batch_of_one_and_references(self, layers, seed):
+        circuits = make_batch(layers, seed)
+        plan = sim_compile.compile_circuit(circuits[0], mode="statevector")
+        expectations, jacobians = adjoint_expectation_and_jacobian_batch(
+            circuits, plan=plan
+        )
+
+        for index, circuit in enumerate(circuits):
+            # Bit-identical to the same plan run as a batch of one.
+            single_exp, single_jac = adjoint_expectation_and_jacobian_batch(
+                [circuit], plan=plan
+            )
+            assert np.array_equal(expectations[index], single_exp[0])
+            assert np.array_equal(jacobians[index], single_jac[0])
+            # Agreement with the sequential seed sweep.
+            assert np.allclose(
+                jacobians[index], adjoint_jacobian(circuit), atol=1e-10
+            )
+
+        if circuits[0].num_parameters:
+            # Agreement with parameter shift on the exact backend.
+            backend = IdealBackend(exact=True, fused=True)
+            shift = parameter_shift_jacobian_batch(circuits, backend)
+            for index in range(len(circuits)):
+                assert np.allclose(jacobians[index], shift[index], atol=1e-8)
+
+    def test_multi_occurrence_parameters_summed(self):
+        circuit = shared_param_circuit()
+        plan = sim_compile.compile_circuit(circuit, mode="statevector")
+        batched = adjoint_jacobian(circuit, plan=plan)
+        assert np.allclose(batched, adjoint_jacobian(circuit), atol=1e-12)
+        shift = parameter_shift_jacobian_batch(
+            [circuit], IdealBackend(exact=True, fused=True)
+        )
+        assert np.allclose(batched, shift[0], atol=1e-8)
+
+
+class TestTranspiledCircuits:
+    @given(layers=LAYER_SETS, seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_decomposed_circuits_agree(self, layers, seed):
+        """Basis decomposition preserves the Jacobian (same wires)."""
+        logical = make_batch(layers, seed)
+        physical = [decompose_to_basis(circuit) for circuit in logical]
+        plan = sim_compile.compile_circuit(physical[0], mode="statevector")
+        _, jacobians = adjoint_expectation_and_jacobian_batch(
+            physical, plan=plan
+        )
+        for index, circuit in enumerate(logical):
+            assert np.allclose(
+                jacobians[index], adjoint_jacobian(circuit), atol=1e-8
+            )
+
+    def test_routed_circuit_adjoint_matches_parameter_shift(self):
+        """Self-consistency on a fully transpiled (routed) circuit."""
+        logical = build_layered_ansatz(N_QUBITS, ["ry", "rzz", "rx"])
+        rng = np.random.default_rng(5)
+        logical.bind(rng.uniform(-np.pi, np.pi, logical.num_parameters))
+        line = [(i, i + 1) for i in range(N_QUBITS - 1)]
+        routed = transpile(logical, line, N_QUBITS).circuit
+        physical = decompose_to_basis(routed)
+
+        plan = sim_compile.compile_circuit(physical, mode="statevector")
+        batched = adjoint_jacobian(physical, plan=plan)
+        assert np.array_equal(batched.shape,
+                              (N_QUBITS, physical.num_parameters))
+        shift = parameter_shift_jacobian_batch(
+            [physical], IdealBackend(exact=True, fused=True)
+        )
+        assert np.allclose(batched, shift[0], atol=1e-8)
+        assert np.allclose(batched, adjoint_jacobian(physical), atol=1e-10)
+
+
+class TestEngineEntryPoints:
+    def test_param_indices_masking(self):
+        circuits = make_batch(["ry", "rzz", "rx"], seed=3)
+        backend = IdealBackend(exact=True, fused=True)
+        full = adjoint_engine_jacobian_batch(circuits, backend)
+        selected = [0, 2]
+        masked = adjoint_engine_jacobian_batch(
+            circuits, backend, param_indices=selected
+        )
+        n_params = circuits[0].num_parameters
+        for full_jac, masked_jac in zip(full, masked):
+            for column in range(n_params):
+                if column in selected:
+                    assert np.array_equal(
+                        masked_jac[:, column], full_jac[:, column]
+                    )
+                else:
+                    assert np.all(masked_jac[:, column] == 0.0)
+
+    def test_unfused_backend_bit_identical_to_seed(self):
+        """fused=False resolves plan=None -> the seed sweep, verbatim."""
+        circuits = make_batch(["ry", "rzz", "rx", "cz"], seed=7)
+        backend = IdealBackend(exact=True, fused=False)
+        assert adjoint_plan_for(circuits[0], backend) is None
+        jacobians = adjoint_engine_jacobian_batch(circuits, backend)
+        for jacobian, circuit in zip(jacobians, circuits):
+            assert np.array_equal(jacobian, adjoint_jacobian(circuit))
+
+    def test_forward_values_match_backend_and_metering(self):
+        circuits = make_batch(["ry", "rzz", "rx"], seed=9)
+        backend = IdealBackend(exact=True, fused=True)
+        reference = backend.expectations(circuits, purpose="reference")
+        before = dict(backend.meter.by_purpose)
+        expectations, jacobians = adjoint_forward_and_jacobian_batch(
+            circuits, backend=backend
+        )
+        assert np.allclose(expectations, reference, atol=1e-12)
+        assert len(jacobians) == len(circuits)
+        # The combined entry meters its forward values like a separate
+        # forward submission would; the sweep itself runs no circuits.
+        after = backend.meter.by_purpose
+        assert after.get("forward", 0) - before.get("forward", 0) == len(
+            circuits
+        )
+        assert "gradient" not in after
+        adjoint_engine_jacobian_batch(circuits, backend)
+        assert backend.meter.by_purpose == after
+
+    def test_mixed_structure_submission(self):
+        """Groups of different structures are swept separately and
+        scattered back into submission order."""
+        a = make_batch(["ry", "rzz"], seed=1)
+        b = make_batch(["rx", "cz", "rz"], seed=2)
+        mixed = [a[0], b[0], a[1], b[1]]
+        jacobians = adjoint_engine_jacobian_batch(
+            mixed, IdealBackend(exact=True, fused=True)
+        )
+        for jacobian, circuit in zip(jacobians, mixed):
+            assert np.allclose(
+                jacobian, adjoint_jacobian(circuit), atol=1e-10
+            )
+
+
+class TestValidation:
+    def test_density_plan_rejected(self):
+        circuit = shared_param_circuit()
+        plan = sim_compile.compile_circuit(circuit, mode="density")
+        with pytest.raises(ValueError, match="statevector"):
+            plan.adjoint()
+
+    def test_non_shift_rule_trainable_rejected_on_plan_path(self):
+        circuit = QuantumCircuit(1)
+        circuit.add_trainable("phase", 0, 0)
+        circuit.bind([0.5])
+        plan = sim_compile.compile_circuit(circuit, mode="statevector")
+        with pytest.raises(ValueError, match="Pauli-rotation"):
+            adjoint_jacobian(circuit, plan=plan)
+
+    def test_plan_without_param_indices_rejected(self):
+        circuit = shared_param_circuit()
+        plan = sim_compile.compile_circuit(circuit, mode="statevector")
+        stripped = sim_compile.ExecutionPlan(
+            plan.n_qubits, plan.mode, plan.steps, plan.n_source_ops
+        )
+        with pytest.raises(ValueError, match="parameter-index"):
+            stripped.adjoint()
+
+
+class TestDownstreamEngines:
+    def test_vqe_adjoint_gradient_matches_parameter_shift(self):
+        model = transverse_field_ising(3)
+        ansatz = hardware_efficient_ansatz(3, n_layers=1, seed=2)
+        backend = IdealBackend(exact=True, fused=True)
+        indices = np.arange(ansatz.num_parameters)
+        adjoint = VqeEngine(
+            model, ansatz, backend, gradient_engine="adjoint"
+        ).gradient(indices)
+        shift = VqeEngine(
+            model, ansatz, IdealBackend(exact=True, fused=True),
+            gradient_engine="parameter_shift",
+        ).gradient(indices)
+        assert np.allclose(adjoint, shift, atol=1e-8)
+
+    def test_vqe_adjoint_requires_exact_backend(self):
+        model = transverse_field_ising(3)
+        ansatz = hardware_efficient_ansatz(3, n_layers=1, seed=2)
+        noisy = NoisyBackend.from_device_name("ibmq_lima", seed=0)
+        with pytest.raises(ValueError, match="exact backend"):
+            VqeEngine(model, ansatz, noisy, gradient_engine="adjoint")
+
+    def test_training_step_fused_matches_unfused(self):
+        """The compiled adjoint path trains identically to the seed path."""
+        config = TrainingConfig(
+            task="mnist2", steps=3, batch_size=4, shots=512,
+            gradient_engine="adjoint", eval_every=0, eval_size=30, seed=0,
+        )
+        fused = TrainingEngine(config, IdealBackend(exact=True, fused=True))
+        unfused = TrainingEngine(
+            config, IdealBackend(exact=True, fused=False)
+        )
+        for _ in range(config.steps):
+            fused_record = fused.train_step()
+            unfused_record = unfused.train_step()
+            assert np.isclose(
+                fused_record.loss, unfused_record.loss, atol=1e-8
+            )
+        assert np.allclose(fused.theta, unfused.theta, atol=1e-8)
+        # One forward submission per step, no gradient circuits.
+        by_purpose = fused.backend.meter.by_purpose
+        assert by_purpose.get("forward", 0) == (
+            config.steps * config.batch_size
+        )
+        assert "gradient" not in by_purpose

@@ -13,6 +13,8 @@ from repro.hardware import (
 from repro.noise import get_calibration
 from repro.scaling import (
     CircuitWorkload,
+    adjoint_speedup,
+    adjoint_sweep_ops,
     advantage_factor,
     build_benchmark_circuit,
     classical_memory_gb,
@@ -22,6 +24,7 @@ from repro.scaling import (
     crossover_qubits,
     fit_classical_runtime,
     measure_classical_seconds,
+    parameter_shift_sweep_ops,
     quantum_ops,
     quantum_registers,
     runtime_table,
@@ -71,6 +74,38 @@ class TestCostModel:
             classical_ops(0)
         with pytest.raises(ValueError):
             quantum_registers(0)
+
+
+class TestGradientSweepModel:
+    def test_adjoint_independent_of_parameter_count(self):
+        """Doubling the gate count doubles (not squares) adjoint cost."""
+        small = CircuitWorkload(n_rotation_gates=16, n_rzz_gates=32)
+        large = CircuitWorkload(n_rotation_gates=32, n_rzz_gates=64)
+        adjoint_ratio = adjoint_sweep_ops(10, large) / adjoint_sweep_ops(
+            10, small
+        )
+        shift_ratio = parameter_shift_sweep_ops(
+            10, large
+        ) / parameter_shift_sweep_ops(10, small)
+        assert np.isclose(adjoint_ratio, 2.0, rtol=0.05)
+        assert np.isclose(shift_ratio, 4.0, rtol=0.05)
+
+    def test_adjoint_wins_at_paper_scale(self):
+        """48 trainable occurrences vs 4 measured qubits: adjoint wins."""
+        assert adjoint_speedup(4, n_observables=4) > 5.0
+
+    def test_shift_wins_below_crossover(self):
+        """P below ~(2 + T) / 2 is the only regime where shift is cheaper."""
+        tiny = CircuitWorkload(n_rotation_gates=1, n_rzz_gates=0)
+        assert adjoint_speedup(10, tiny, n_observables=10) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adjoint_sweep_ops(0)
+        with pytest.raises(ValueError):
+            adjoint_sweep_ops(4, n_observables=0)
+        with pytest.raises(ValueError):
+            parameter_shift_sweep_ops(0)
 
 
 class TestRuntimeModel:
