@@ -25,6 +25,7 @@ Subpackages
 ``repro.training``   the TrainingEngine and evaluation helpers
 ``repro.serving``    async ExecutionService: coalescing, caching, routing
 ``repro.parallel``   multi-process sharded execution (worker pools)
+``repro.resilience`` fault injection, retries, breakers, deadlines
 ``repro.data``       synthetic datasets + preprocessing pipelines
 ``repro.scaling``    Fig. 2a / Fig. 8 cost and runtime models
 ``repro.analysis``   Fig. 2b / Fig. 2c noise analyses + gradient variance
@@ -42,6 +43,7 @@ from repro.interop import from_qasm, load_run, save_run, to_qasm
 from repro.noise import NoiseModel, get_calibration
 from repro.parallel import BackendSpec, ShardedBackend
 from repro.pruning import GradientPruner, PruningHyperparams
+from repro.resilience import CircuitBreaker, FaultPlan, RetryPolicy
 from repro.serving import ExecutionService, ServiceExecutor
 from repro.sim import DensityMatrix, Statevector
 from repro.training import TrainingConfig, TrainingEngine, evaluate_accuracy
@@ -49,9 +51,11 @@ from repro.version import __version__
 
 __all__ = [
     "BackendSpec",
+    "CircuitBreaker",
     "Dataset",
     "DensityMatrix",
     "ExecutionService",
+    "FaultPlan",
     "GradientPruner",
     "IdealBackend",
     "NoiseModel",
@@ -60,6 +64,7 @@ __all__ = [
     "QnnArchitecture",
     "QuantumCircuit",
     "QuantumProvider",
+    "RetryPolicy",
     "ServiceExecutor",
     "ShardedBackend",
     "Statevector",

@@ -356,6 +356,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"  backend {entry['name']}: "
               f"{entry['dispatched_batches']} batches, "
               f"{entry['dispatched_circuits']} circuits")
+    resilience = stats["resilience"]
+    print(f"  resilience: {resilience['retries']} retries, "
+          f"{resilience['restarts']} worker restarts "
+          f"({resilience['hangs']} hangs), "
+          f"{resilience['fallbacks']} fallbacks, "
+          f"breakers {'/'.join(resilience['breaker_states'])} "
+          f"({resilience['breaker_trips']} trips)")
     from repro.parallel import default_workers
 
     effective_workers = (

@@ -62,6 +62,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.circuits.batch import CircuitBatch, group_by_structure
+from repro.resilience import faults as _faults
 from repro.sim import compile as _compile
 from repro.sim import measurement as _measurement
 from repro.sim.batched import BatchedStatevector
@@ -350,6 +351,10 @@ class Backend(abc.ABC):
                             member.validate()
             results: list[ExecutionResult | None] = [None] * len(circuits)
             for positions, members in groups:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire(
+                        _faults.SITE_EXECUTE_BATCH, backend=self.name
+                    )
                 group_results = self._execute_batch(members, shots)
                 if len(group_results) != len(members):
                     raise RuntimeError(
@@ -363,6 +368,10 @@ class Backend(abc.ABC):
             if validate:
                 for circuit in circuits:
                     circuit.validate()
+            if _faults.ACTIVE is not None and circuits:
+                _faults.ACTIVE.fire(
+                    _faults.SITE_EXECUTE_BATCH, backend=self.name
+                )
             results = [self._execute(circuit, shots) for circuit in circuits]
         self._record_run(
             len(circuits), sum(r.shots for r in results), purpose

@@ -32,8 +32,19 @@ from __future__ import annotations
 import os
 
 from repro.parallel.backend import ShardedBackend
-from repro.parallel.pool import WorkerCrashError, WorkerError, WorkerPool
-from repro.parallel.shard import Shard, ShardPlanner, circuit_cost
+from repro.parallel.pool import (
+    RestartBudgetExhausted,
+    WorkerCrashError,
+    WorkerError,
+    WorkerHangError,
+    WorkerPool,
+)
+from repro.parallel.shard import (
+    Shard,
+    ShardPlanner,
+    circuit_cost,
+    shard_timeout_s,
+)
 from repro.parallel.spec import BackendSpec
 
 #: Environment variable holding the default worker count.
@@ -57,13 +68,16 @@ def default_workers() -> int:
 
 __all__ = [
     "BackendSpec",
+    "RestartBudgetExhausted",
     "Shard",
     "ShardPlanner",
     "ShardedBackend",
     "WORKERS_ENV",
     "WorkerCrashError",
     "WorkerError",
+    "WorkerHangError",
     "WorkerPool",
     "circuit_cost",
     "default_workers",
+    "shard_timeout_s",
 ]

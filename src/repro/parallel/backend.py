@@ -26,16 +26,41 @@ consumes no randomness and the batched kernels are chunk-invariant);
 sampled counts come from per-circuit ``SeedSequence`` substreams
 spawned in submission order from the facade's root seed, so they are
 reproducible for a fixed seed — and invariant to the worker count too.
+
+Resilience: the pool already absorbs individual worker crashes and
+hangs (respawn + replay, see :mod:`repro.parallel.pool`); the facade
+adds the *last* line of defense — **graceful degradation**.  When a
+shard exhausts its respawn budget, or the pool burns through its
+lifetime restart budget, the facade warns once
+(:class:`~repro.resilience.ResilienceWarning`), rebuilds a local
+replica from its spec, and executes the *same planned shards with the
+same seeds* in-process.  Because shard seeds are position-keyed and
+the in-process kernel is the very ``execute_shard`` workers run,
+degraded results are bit-identical (exact) / seed-identical (sampled)
+to what the pool would have produced — slower, never wrong.  Meter
+windows from the failed pool attempt are discarded before the replay,
+so no shard is double-counted.  Hung-shard detection is on by default,
+with per-shard timeouts derived from the :mod:`repro.scaling` cost
+model (see :func:`~repro.parallel.shard.shard_timeout_s`).
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.hardware.backend import Backend, ExecutionResult
-from repro.parallel.pool import WorkerPool
-from repro.parallel.shard import ShardPlanner
+from repro.parallel.pool import (
+    RestartBudgetExhausted,
+    WorkerCrashError,
+    WorkerPool,
+    batch_probabilities,
+    execute_shard,
+)
+from repro.parallel.shard import ShardPlanner, shard_timeout_s
 from repro.parallel.spec import BackendSpec
+from repro.resilience.errors import ResilienceWarning
 
 
 class ShardedBackend(Backend):
@@ -57,6 +82,16 @@ class ShardedBackend(Backend):
             :class:`ShardPlanner` (``None`` = its default; ``0`` =
             always split to ``workers`` chunks).
         max_retries: Crash-respawn budget per shard.
+        hang_timeout_s: Hung-shard detection: ``"auto"`` (default)
+            derives a per-shard progress timeout from the cost model,
+            a float fixes one timeout for every shard, ``None``
+            disables detection.
+        restart_budget: Pool-lifetime respawn cap (``None`` = the
+            pool's default of ``4 * workers``).
+        fallback: Degrade to in-process execution when the pool gives
+            up (default).  ``False`` re-raises pool escalations to the
+            caller instead — for callers that would rather fail fast
+            than run slow.
 
     The pool spawns lazily on first execution and is stopped by
     :meth:`close` (also a context manager, also reaped at garbage
@@ -72,7 +107,14 @@ class ShardedBackend(Backend):
         seed: int | None = None,
         min_shard_cost: float | None = None,
         max_retries: int = 2,
+        hang_timeout_s: float | str | None = "auto",
+        restart_budget: int | None = None,
+        fallback: bool = True,
     ):
+        if isinstance(hang_timeout_s, str) and hang_timeout_s != "auto":
+            raise ValueError(
+                "hang_timeout_s must be 'auto', a float, or None"
+            )
         if isinstance(backend, BackendSpec):
             spec = backend
             adopted_meter = None
@@ -97,8 +139,17 @@ class ShardedBackend(Backend):
             fused=spec.fused,
         )
         self.pool = WorkerPool(
-            spec, self.workers, max_retries=max_retries
+            spec,
+            self.workers,
+            max_retries=max_retries,
+            restart_budget=restart_budget,
         )
+        self.hang_timeout_s = hang_timeout_s
+        self.fallback_enabled = bool(fallback)
+        self.fallbacks = 0
+        self._degraded = False
+        self._warned_fallback = False
+        self._local_replica: Backend | None = None
         self._seed_seq = np.random.SeedSequence(self._seed)
         self._active_purpose = "run"
 
@@ -159,6 +210,59 @@ class ShardedBackend(Backend):
             return None
         return list(self._seed_seq.spawn(n))
 
+    # -- resilience ------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the facade has permanently left the pool behind."""
+        return self._degraded
+
+    def _timeouts(self, shards) -> list[float] | None:
+        """Per-shard progress timeouts for the gather loop."""
+        if self.hang_timeout_s is None:
+            return None
+        if self.hang_timeout_s == "auto":
+            density = self.spec.kind == "noisy"
+            return [
+                shard_timeout_s(
+                    shard,
+                    density=density,
+                    plan=self.planner._costing_plan(shard.circuits[0]),
+                )
+                for shard in shards
+            ]
+        return [float(self.hang_timeout_s)] * len(shards)
+
+    def _local_backend(self) -> Backend:
+        """The lazily built in-process replica degraded runs execute on."""
+        if self._local_replica is None:
+            self._local_replica = self.spec.build()
+        return self._local_replica
+
+    def _degrade(self, exc: WorkerCrashError) -> None:
+        """Account for one pool give-up; re-raise if fallback is off.
+
+        :class:`RestartBudgetExhausted` flips the facade to
+        *permanently* degraded — the pool has proven it cannot hold
+        workers alive, so further submissions skip it entirely rather
+        than re-spending shard retries to rediscover that.
+        """
+        if not self.fallback_enabled:
+            raise exc
+        self.fallbacks += 1
+        if isinstance(exc, RestartBudgetExhausted):
+            self._degraded = True
+        if not self._warned_fallback:
+            self._warned_fallback = True
+            warnings.warn(
+                f"{self.name}: worker pool gave up "
+                f"({type(exc).__name__}: {exc}); degrading to "
+                f"in-process execution — results are unchanged, "
+                f"throughput is not",
+                ResilienceWarning,
+                stacklevel=4,
+            )
+
     def _execute(self, circuit, shots: int) -> ExecutionResult:
         """Single-circuit path: one one-circuit shard through the pool."""
         return self._execute_batch([circuit], shots)[0]
@@ -166,17 +270,38 @@ class ShardedBackend(Backend):
     def _execute_batch(
         self, circuits, shots: int
     ) -> list[ExecutionResult]:
-        """Shard one structure group across the pool and reassemble."""
+        """Shard one structure group across the pool and reassemble.
+
+        On pool escalation the *same* shards (same seeds, same
+        chunking) re-execute in-process, so degraded output is
+        indistinguishable from pooled output.  Meter windows travel
+        inside the responses and are merged only after the executing
+        path succeeded end to end — a failed pool attempt contributes
+        nothing, so the replay cannot double-count.
+        """
         circuits = list(circuits)
         purpose = self._active_purpose
         shards = self.planner.plan(
             circuits, seeds=self._spawn_seeds(len(circuits))
         )
-        requests = [
-            (shard.worker, ("run", (shard, shots, purpose)))
-            for shard in shards
-        ]
-        responses = self.pool.run_shards(requests)
+        responses = None
+        if not self._degraded:
+            requests = [
+                (shard.worker, ("run", (shard, shots, purpose)))
+                for shard in shards
+            ]
+            try:
+                responses = self.pool.run_shards(
+                    requests, timeouts=self._timeouts(shards)
+                )
+            except WorkerCrashError as exc:
+                self._degrade(exc)
+        if responses is None:
+            local = self._local_backend()
+            responses = [
+                execute_shard(local, shard, shots, purpose)
+                for shard in shards
+            ]
         results: list[ExecutionResult | None] = [None] * len(circuits)
         for shard, (shard_results, window) in zip(shards, responses):
             for position, result in zip(shard.positions, shard_results):
@@ -199,10 +324,23 @@ class ShardedBackend(Backend):
         if not circuits:
             raise ValueError("need at least one circuit")
         shards = self.planner.plan(circuits)
-        requests = [
-            (shard.worker, ("probs", (shard,))) for shard in shards
-        ]
-        responses = self.pool.run_shards(requests)
+        responses = None
+        if not self._degraded:
+            requests = [
+                (shard.worker, ("probs", (shard,))) for shard in shards
+            ]
+            try:
+                responses = self.pool.run_shards(
+                    requests, timeouts=self._timeouts(shards)
+                )
+            except WorkerCrashError as exc:
+                self._degrade(exc)
+        if responses is None:
+            local = self._local_backend()
+            responses = [
+                (batch_probabilities(local, shard.circuits), None)
+                for shard in shards
+            ]
         rows = np.empty(
             (len(circuits), 2 ** circuits[0].n_qubits), dtype=np.float64
         )
@@ -223,6 +361,8 @@ class ShardedBackend(Backend):
             "workers": self.workers,
             "pool": self.pool.stats(),
             "meter": self.meter.snapshot(),
+            "fallbacks": self.fallbacks,
+            "degraded": self._degraded,
         }
 
     def __repr__(self) -> str:

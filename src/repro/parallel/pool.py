@@ -25,22 +25,54 @@ Execution of one shard inside a worker:
 Every response ships the replica's meter window
 (:meth:`~repro.hardware.CircuitRunMeter.diff`) for the facade to merge.
 
-Crash handling: a worker that dies mid-shard (OOM kill, segfault in a
-native extension, ...) is detected by its broken pipe; the pool spawns
-a fresh worker in the same slot and re-sends the unacknowledged shards.
-Because shard seeds are position-keyed, a retried shard reproduces
-exactly the results the dead worker would have produced.  A shard that
-*keeps* killing workers raises :class:`WorkerCrashError` after
-``max_retries`` respawns instead of looping forever.  Worker-side
+Failure handling (the resilience tier)
+--------------------------------------
+Workers **heartbeat**: before executing each request they send an
+``("hb", ...)`` progress message, and the parent's gather loop treats
+any message — heartbeat or answer — as proof of life.  On top of that
+signal the pool detects and survives three distinct failures:
+
+* **crash** — a worker that dies mid-shard (OOM kill, segfault in a
+  native extension, injected ``kill``) is detected by its broken pipe;
+  the pool spawns a fresh worker in the same slot and re-sends the
+  unacknowledged shards.  Because shard seeds are position-keyed, a
+  retried shard reproduces exactly the results the dead worker would
+  have produced.
+* **hang** — a worker that stops making progress (deadlock, runaway
+  native call, injected ``hang``) cannot break its own pipe, so the
+  gather loop enforces a per-shard **timeout** (derived from the
+  :mod:`repro.scaling` cost model by the facade); silence past the
+  timeout kills the worker and recovers exactly like a crash, raising
+  :class:`WorkerHangError` once the per-shard budget is exhausted.
+* **respawn storms** — every restart backs off exponentially per slot
+  (a machine thrashing near its memory limit gets breathing room, not
+  a fork bomb) and draws from a pool-lifetime ``restart_budget``;
+  exhausting the budget raises :class:`RestartBudgetExhausted`, the
+  signal on which :class:`~repro.parallel.ShardedBackend` degrades to
+  in-process execution instead of failing the caller.
+
+A shard that *keeps* killing workers raises :class:`WorkerCrashError`
+after ``max_retries`` respawns instead of looping forever.  Worker-side
 Python exceptions are not retried — they are deterministic — and
-re-raise in the parent with the worker traceback attached.
+re-raise in the parent with the worker traceback attached.  All three
+escalation types subclass :class:`~repro.resilience.TransientError`,
+so upstream retry policies classify them correctly.
+
+Chaos hooks: the worker loop fires the ``worker.shard`` injection site
+before executing each shard, and the parent fires ``pool.pipe`` before
+each pipe send — see :mod:`repro.resilience.faults`.  Spawned workers
+install the parent's :class:`~repro.resilience.FaultPlan` (shipped as
+a spawn argument) tagged with their spawn index, so plans can target
+"first-generation workers only" and let replacements survive.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 import weakref
+from time import monotonic as _monotonic
 
 import numpy as np
 
@@ -49,16 +81,56 @@ from repro.hardware.backend import Backend, ExecutionResult
 from repro.hardware.noisy_backend import NoisyBackend
 from repro.parallel.shard import Shard
 from repro.parallel.spec import BackendSpec
+from repro.resilience import faults as _faults
+from repro.resilience.errors import TransientError
 from repro.sim import measurement as _measurement
 from repro.sim.batched import BatchedStatevector
 
 
-class WorkerCrashError(RuntimeError):
-    """A shard repeatedly killed the workers executing it."""
+class WorkerCrashError(TransientError):
+    """A shard repeatedly killed the workers executing it.
+
+    Attributes:
+        slot: The pool slot whose workers kept dying (``None`` when
+            unknown).
+    """
+
+    def __init__(self, message: str, slot: int | None = None):
+        super().__init__(message)
+        self.slot = slot
+
+
+class WorkerHangError(WorkerCrashError):
+    """A shard repeatedly hung the workers executing it.
+
+    Raised when a worker stays silent past its per-shard timeout more
+    than ``max_retries`` times; the unresponsive processes were killed
+    and replaced on each attempt.
+    """
+
+
+class RestartBudgetExhausted(WorkerCrashError):
+    """The pool spent its lifetime respawn budget.
+
+    The escalation signal for graceful degradation: the facade catches
+    this and falls back to in-process execution instead of raising to
+    the caller.
+    """
 
 
 class WorkerError(RuntimeError):
     """A worker-side exception, re-raised in the parent process."""
+
+
+# -- internal gather-loop signals -------------------------------------------
+
+
+class _WorkerGone(Exception):
+    """Gather-internal: the worker's pipe broke (process death)."""
+
+
+class _WorkerHung(Exception):
+    """Gather-internal: no message within the per-shard timeout."""
 
 
 # -- worker-side execution ---------------------------------------------------
@@ -116,7 +188,10 @@ def execute_shard(
 
     Exact backends delegate to ``Backend.run``; sampling backends
     compute the shard's distributions batch-wide and then sample each
-    circuit from its own seed substream (see module docstring).
+    circuit from its own seed substream (see module docstring).  Also
+    the in-process **fallback kernel**: when the facade degrades after
+    pool exhaustion it runs the very same function on a local replica,
+    so degraded results stay bit-identical to pooled ones.
     """
     before = backend.meter.snapshot()
     if backend.exact_execution():
@@ -146,8 +221,27 @@ def execute_shard(
     return results, _meter_window(backend, before, purpose)
 
 
-def _worker_main(conn, spec: BackendSpec) -> None:
-    """Entry point of one worker process: serve requests until stopped."""
+def _worker_main(
+    conn,
+    spec: BackendSpec,
+    fault_plan=None,
+    slot: int = 0,
+    spawn: int = 0,
+) -> None:
+    """Entry point of one worker process: serve requests until stopped.
+
+    Args:
+        conn: The worker's end of the duplex pipe.
+        spec: Recipe for the backend replica.
+        fault_plan: The parent's installed
+            :class:`~repro.resilience.FaultPlan`, if any — installed
+            here tagged with ``spawn`` so worker-side injection sites
+            fire deterministically per worker generation.
+        slot: Pool slot (context for injected-fault messages).
+        spawn: Pool-wide spawn index of this worker process.
+    """
+    if fault_plan is not None:
+        _faults.install(fault_plan, worker_spawn=spawn)
     backend = spec.build()
     while True:
         try:
@@ -158,13 +252,28 @@ def _worker_main(conn, spec: BackendSpec) -> None:
             break
         kind, payload = message
         try:
+            # Progress signal: the parent's hung-shard detector treats
+            # any message as proof of life, so a worker that *starts*
+            # a long shard is distinguishable from one that is stuck.
+            conn.send(("hb", kind))
+        except (BrokenPipeError, OSError):
+            break
+        try:
             if kind == "run":
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire(
+                        _faults.SITE_WORKER_SHARD, slot=slot, spawn=spawn
+                    )
                 shard, shots, purpose = payload
                 results, window = execute_shard(
                     backend, shard, shots, purpose
                 )
                 response = ("ok", (results, window))
             elif kind == "probs":
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire(
+                        _faults.SITE_WORKER_SHARD, slot=slot, spawn=spawn
+                    )
                 (shard,) = payload
                 rows = batch_probabilities(backend, shard.circuits)
                 response = ("ok", (rows, None))
@@ -187,6 +296,24 @@ def _worker_main(conn, spec: BackendSpec) -> None:
 # -- parent side -------------------------------------------------------------
 
 
+def _stop_process(process) -> None:
+    """Join one worker, escalating terminate → kill → abandon.
+
+    ``terminate`` (SIGTERM) is the polite request; a worker stuck in a
+    native call or masked-signal section ignores it, so an
+    unterminated process escalates to ``kill`` (SIGKILL, cannot be
+    ignored).  Without the escalation, shutdown left zombies behind on
+    every hung worker.
+    """
+    process.join(timeout=2.0)
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=2.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=2.0)
+
+
 def _shutdown(processes: list, connections: list) -> None:
     """Finalizer body: stop workers without touching the pool object."""
     for conn in connections:
@@ -200,10 +327,7 @@ def _shutdown(processes: list, connections: list) -> None:
         except OSError:
             pass
     for process in processes:
-        process.join(timeout=2.0)
-        if process.is_alive():
-            process.terminate()
-            process.join(timeout=2.0)
+        _stop_process(process)
 
 
 class _WorkerHandle:
@@ -226,7 +350,16 @@ class WorkerPool:
         spec: Recipe every worker builds its replica from.
         n_workers: Pool size.
         max_retries: Respawn-and-retry budget per shard before a crash
-            is escalated as :class:`WorkerCrashError`.
+            (or hang) is escalated as :class:`WorkerCrashError` /
+            :class:`WorkerHangError`.
+        restart_budget: Pool-lifetime cap on worker respawns; spending
+            it raises :class:`RestartBudgetExhausted` (the facade's
+            degrade signal).  ``None`` defaults to ``4 * n_workers``;
+            ``0`` disables respawning entirely.
+        backoff_base_s: First respawn delay per slot; doubles with each
+            consecutive respawn of the same slot (reset when the slot
+            answers), capped at ``backoff_cap_s``.
+        backoff_cap_s: Upper bound on any single respawn delay.
 
     Workers are spawned lazily on first use (:meth:`ensure_started`),
     so constructing a pool — e.g. inside a backend that may never
@@ -243,20 +376,35 @@ class WorkerPool:
         spec: BackendSpec,
         n_workers: int,
         max_retries: int = 2,
+        restart_budget: int | None = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if max_retries < 0:
             raise ValueError("max_retries cannot be negative")
+        if restart_budget is not None and restart_budget < 0:
+            raise ValueError("restart_budget cannot be negative")
+        if backoff_base_s < 0 or backoff_cap_s < 0:
+            raise ValueError("backoff delays cannot be negative")
         self.spec = spec
         self.n_workers = int(n_workers)
         self.max_retries = int(max_retries)
+        self.restart_budget = (
+            4 * self.n_workers if restart_budget is None else int(restart_budget)
+        )
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
         self._context = multiprocessing.get_context("spawn")
         self._workers: list[_WorkerHandle | None] = [None] * self.n_workers
         self._started = False
         self._closed = False
         self.restarts = 0
+        self.hangs = 0
         self.shards_executed = 0
+        self._spawn_count = 0
+        self._slot_streaks = [0] * self.n_workers
         self._finalizer = weakref.finalize(self, _shutdown, [], [])
 
     # -- lifecycle -------------------------------------------------------
@@ -265,10 +413,17 @@ class WorkerPool:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(child_conn, self.spec),
+            args=(
+                child_conn,
+                self.spec,
+                _faults.current_plan(),
+                slot,
+                self._spawn_count,
+            ),
             name=f"repro-worker-{slot}",
             daemon=True,
         )
+        self._spawn_count += 1
         process.start()
         child_conn.close()  # the parent keeps only its own end
         handle = _WorkerHandle(process, parent_conn)
@@ -333,17 +488,41 @@ class WorkerPool:
     # -- crash plumbing (also the test hook) -----------------------------
 
     def _restart(self, slot: int) -> _WorkerHandle:
-        """Replace the worker in ``slot`` with a fresh process."""
+        """Replace the worker in ``slot``: reap, back off, respawn.
+
+        The parent-side pipe end is closed *before* the process is
+        reaped (a respawn that leaked fds eventually exhausted the
+        parent's descriptor table under a crash storm), termination
+        escalates SIGTERM → SIGKILL (a hung worker ignores SIGTERM),
+        and the respawn is delayed by the slot's exponential backoff.
+        Every restart draws from the pool-lifetime budget.
+
+        Raises:
+            RestartBudgetExhausted: The budget hit zero — the caller
+                (ultimately the facade) should degrade, not loop.
+        """
+        if self.restarts >= self.restart_budget:
+            raise RestartBudgetExhausted(
+                f"worker pool spent its restart budget "
+                f"({self.restart_budget}); degrading instead of "
+                f"respawning further",
+                slot=slot,
+            )
         handle = self._workers[slot]
         if handle is not None:
             try:
                 handle.conn.close()
             except OSError:
                 pass
-            if handle.alive():
-                handle.process.terminate()
-            handle.process.join(timeout=2.0)
+            _stop_process(handle.process)
         self.restarts += 1
+        self._slot_streaks[slot] += 1
+        delay = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * 2.0 ** (self._slot_streaks[slot] - 1),
+        )
+        if delay > 0:
+            time.sleep(delay)
         return self._spawn(slot)
 
     def kill_worker(self, slot: int) -> None:
@@ -355,7 +534,11 @@ class WorkerPool:
 
     # -- scatter / gather ------------------------------------------------
 
-    def run_shards(self, requests: list[tuple[int, tuple]]) -> list:
+    def run_shards(
+        self,
+        requests: list[tuple[int, tuple]],
+        timeouts: list[float | None] | float | None = None,
+    ) -> list:
         """Execute ``(worker_slot, request)`` pairs; gather in order.
 
         Each request is a ``(kind, payload)`` tuple as understood by
@@ -363,13 +546,32 @@ class WorkerPool:
         given; distinct workers execute concurrently.  Returns one
         response payload per request, aligned with the input order.
 
+        Args:
+            requests: The scatter plan.
+            timeouts: Per-request progress timeouts in seconds — a
+                scalar applies to every request, a list aligns with
+                ``requests``, ``None`` disables hung-shard detection.
+                The clock resets on every message from the worker
+                (heartbeats included), so the timeout bounds *silence*,
+                not total shard runtime.
+
         Raises:
             WorkerError: A worker raised; its traceback is included.
             WorkerCrashError: A shard exceeded its respawn budget.
+            WorkerHangError: A shard repeatedly hung its workers.
+            RestartBudgetExhausted: The pool-lifetime respawn budget
+                ran out mid-recovery.
         """
         if not requests:
             return []
         self.ensure_started()
+        if timeouts is None or isinstance(timeouts, (int, float)):
+            timeouts = [timeouts] * len(requests)
+        elif len(timeouts) != len(requests):
+            raise ValueError(
+                f"got {len(timeouts)} timeouts for {len(requests)} "
+                f"requests"
+            )
         per_worker: dict[int, list[int]] = {}
         for index, (slot, _) in enumerate(requests):
             per_worker.setdefault(slot % self.n_workers, []).append(index)
@@ -386,16 +588,28 @@ class WorkerPool:
             attempts = 0
             while answered < len(indices):
                 handle = self._workers[slot]
+                timeout = timeouts[indices[answered]]
                 try:
-                    status, payload = handle.conn.recv()
-                except (EOFError, OSError):
-                    # The worker died on the first unanswered request.
+                    status, payload = self._recv(handle, timeout, slot)
+                except (_WorkerGone, _WorkerHung) as why:
+                    hung = isinstance(why, _WorkerHung)
+                    if hung:
+                        self.hangs += 1
                     attempts += 1
+                    if hung:
+                        # The process is alive but silent; it cannot
+                        # break its own pipe, so reap it explicitly.
+                        self.kill_worker(slot)
                     if attempts > self.max_retries:
-                        raise WorkerCrashError(
-                            f"shard killed worker slot {slot} "
+                        error = (
+                            WorkerHangError if hung else WorkerCrashError
+                        )
+                        verb = "hung" if hung else "killed"
+                        raise error(
+                            f"shard {verb} worker slot {slot} "
                             f"{attempts} times (request "
-                            f"{indices[answered]}); giving up"
+                            f"{indices[answered]}); giving up",
+                            slot=slot,
                         ) from None
                     self._restart(slot)
                     self._send_all(
@@ -410,6 +624,7 @@ class WorkerPool:
                 )
                 answered += 1
                 attempts = 0
+                self._slot_streaks[slot] = 0
                 self.shards_executed += 1
         if failure is not None:
             name, message, worker_traceback = failure
@@ -418,6 +633,41 @@ class WorkerPool:
                 f"--- worker traceback ---\n{worker_traceback}"
             )
         return responses
+
+    def _recv(
+        self, handle: _WorkerHandle, timeout: float | None, slot: int
+    ):
+        """One answer from a worker, absorbing heartbeats.
+
+        Blocks until a non-heartbeat message arrives.  With a timeout,
+        every received message — heartbeat included — restarts the
+        silence clock; a gap longer than ``timeout`` raises
+        :class:`_WorkerHung`.
+
+        Raises:
+            _WorkerGone: The pipe broke (worker process died).
+            _WorkerHung: No message within ``timeout`` seconds.
+        """
+        while True:
+            if timeout is not None:
+                deadline = _monotonic() + timeout
+                try:
+                    ready = handle.conn.poll(timeout)
+                except (EOFError, OSError):
+                    raise _WorkerGone() from None
+                if not ready and _monotonic() >= deadline:
+                    raise _WorkerHung()
+                if not ready:
+                    continue
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                raise _WorkerGone() from None
+            status, payload = message
+            if status == "hb":
+                self._slot_streaks[slot] = 0
+                continue
+            return status, payload
 
     def _send_all(
         self, slot: int, messages: list, attempts: int = 0
@@ -439,12 +689,15 @@ class WorkerPool:
             handle = self._restart(slot)
         for message in messages:
             try:
+                if _faults.ACTIVE is not None:
+                    _faults.ACTIVE.fire(_faults.SITE_POOL_PIPE, slot=slot)
                 handle.conn.send(message)
             except (BrokenPipeError, OSError):
                 if attempts >= self.max_retries:
                     raise WorkerCrashError(
                         f"worker slot {slot} died {attempts + 1} times "
-                        f"during message delivery; giving up"
+                        f"during message delivery; giving up",
+                        slot=slot,
                     ) from None
                 self._restart(slot)
                 self._send_all(slot, messages, attempts + 1)
@@ -458,6 +711,8 @@ class WorkerPool:
             "workers": self.n_workers,
             "alive": self.alive_workers(),
             "restarts": self.restarts,
+            "hangs": self.hangs,
+            "restart_budget": self.restart_budget,
             "shards_executed": self.shards_executed,
             "closed": self._closed,
             "backend": self.spec.describe(),

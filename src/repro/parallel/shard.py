@@ -65,6 +65,38 @@ def circuit_cost(circuit, density: bool = False, plan=None) -> float:
     return cost
 
 
+#: Deliberately pessimistic flops/s for timeout derivation — a busy
+#: machine running one worker per core should still clear a shard well
+#: inside the allowance.  Timeouts bound *silence*, not accuracy: a
+#: 100x-too-generous timeout still catches a truly hung worker, while a
+#: tight one would kill healthy workers under load.
+TIMEOUT_THROUGHPUT_FLOPS = 2e8
+
+#: Fixed per-shard allowance covering pickle + pipe + dispatch latency.
+TIMEOUT_FLOOR_S = 10.0
+
+#: Multiplier between estimated runtime and the hang verdict.
+TIMEOUT_SAFETY = 25.0
+
+
+def shard_timeout_s(
+    shard: "Shard", density: bool = False, plan=None
+) -> float:
+    """Progress-timeout allowance for one shard, from the cost model.
+
+    Scales with the shard's estimated flop count (same estimate the
+    planner splits by), so a deep 20-qubit shard gets minutes where a
+    toy shard gets the floor — one knob serves every workload without
+    per-call tuning.
+    """
+    cost = sum(
+        circuit_cost(c, density=density, plan=plan) for c in shard.circuits
+    )
+    return TIMEOUT_FLOOR_S + TIMEOUT_SAFETY * (
+        cost / TIMEOUT_THROUGHPUT_FLOPS
+    )
+
+
 @dataclasses.dataclass
 class Shard:
     """One contiguous chunk of a structure group, bound to a worker.

@@ -1,0 +1,154 @@
+"""Per-backend circuit breaker: closed → open → half-open.
+
+A backend that fails every flush should stop receiving traffic — each
+doomed attempt burns a retry budget, holds a dispatch lane, and delays
+the client — but it must not be exiled forever: transient conditions
+(a worker pool mid-respawn, a briefly overloaded node) heal.  The
+classic three-state breaker encodes exactly that:
+
+* **closed** — normal operation; consecutive failures are counted and
+  any success resets the count.
+* **open** — ``failure_threshold`` consecutive failures tripped the
+  breaker; the backend receives no traffic for ``reset_timeout_s``.
+* **half-open** — the cooldown elapsed; the next dispatch is a probe.
+  Success closes the breaker, failure re-opens it (with a fresh
+  cooldown).
+
+The breaker takes an injectable ``clock`` so tests step time instead
+of sleeping.  All transitions happen under a lock — the serving router
+consults breakers from concurrent dispatch threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: Breaker state names (as reported by :meth:`CircuitBreaker.state`).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding one execution target.
+
+    Args:
+        failure_threshold: Consecutive failures that trip the breaker.
+        reset_timeout_s: Cooldown before an open breaker allows a
+            probe.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s cannot be negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        # Telemetry.
+        self.trips = 0
+        self.successes = 0
+        self.failures_total = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (cooldown expiry is applied lazily)."""
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def available(self) -> bool:
+        """Whether this target should receive traffic right now.
+
+        Open with the cooldown still running ⇒ ``False``; closed or
+        half-open (probe allowed) ⇒ ``True``.  Read-only — probe
+        accounting happens via :meth:`on_dispatch`.
+        """
+        with self._lock:
+            return self._effective_state() != OPEN
+
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open breaker admits a probe (0 otherwise)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0,
+                self.reset_timeout_s - (self._clock() - self._opened_at),
+            )
+
+    # -- transitions -----------------------------------------------------
+
+    def on_dispatch(self) -> None:
+        """Note that traffic was routed here (open → half-open probe)."""
+        with self._lock:
+            if self._effective_state() == HALF_OPEN:
+                self._state = HALF_OPEN
+
+    def record_success(self) -> None:
+        """A dispatch succeeded: close and reset the failure count."""
+        with self._lock:
+            self.successes += 1
+            self._failures = 0
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """A dispatch failed: count it; trip or re-open as needed."""
+        with self._lock:
+            self.failures_total += 1
+            if self._effective_state() == HALF_OPEN:
+                # The probe failed: straight back to open, fresh cooldown.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return
+            self._failures += 1
+            if (
+                self._state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    # -- telemetry -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """State snapshot for router/service telemetry."""
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout_s,
+                "trips": self.trips,
+                "successes": self.successes,
+                "failures_total": self.failures_total,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self._failures}/{self.failure_threshold})"
+        )

@@ -1,0 +1,357 @@
+"""Deterministic fault injection: the test hook behind every guarantee.
+
+"The pool survives worker loss", "a retried shard is bit-identical",
+"the breaker routes around a failing backend" — none of these claims is
+testable without a way to *cause* worker loss, shard death, and backend
+failure on demand, repeatably.  This module is that way.  A
+:class:`FaultPlan` names **injection points** (sites) threaded through
+the execution stack and says, deterministically, which invocations of
+each site misbehave and how:
+
+========================  ====================================================
+site                      where it fires
+========================  ====================================================
+``worker.shard``          inside a worker process, mid-shard (kill / hang /
+                          raise — the worker-loss scenarios)
+``pool.pipe``             parent side, before a pipe send (pipe loss)
+``backend.execute_batch``  inside :meth:`Backend.run`, before a structure
+                          group executes (deterministic backend failure)
+``serving.flush``         in the serving scheduler, before a flush is routed
+                          (slow flush / flush failure)
+========================  ====================================================
+
+Determinism: firing is decided by per-site **hit counters** (``at=(1,)``
+fires on the first hit, ``every=3`` on every third) plus an optional
+seeded probability — never by wall clock — so a chaos test replays
+identically run after run.  Counters are per-process: a respawned
+worker starts fresh, which is why worker-side specs carry
+``max_spawn`` (fire only in workers whose spawn index is below it —
+"kill the first generation, spare the replacements").
+
+Zero overhead when disabled: the plane is a single module-level
+:data:`ACTIVE` reference, ``None`` unless a plan is installed.  Every
+call site guards with ``if faults.ACTIVE is not None`` — one global
+load and an identity check, nothing else, no function call — so
+production traffic pays nothing measurable (pinned by
+``benchmarks/test_resilience_overhead.py``).
+
+``REPRO_CHAOS`` enables the plane from the environment: ``1`` (or any
+truthy value without a ``:``) only *gates* the chaos test suite;
+a spec string like ``worker.shard:kill:at=1,max_spawn=2`` installs a
+plan at import time — in the parent and, because spawned workers
+re-import with the same environment, in every worker too.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.resilience.errors import InjectedFault
+
+#: Environment variable gating/configuring the fault plane.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Canonical site names (call sites use these constants).
+SITE_WORKER_SHARD = "worker.shard"
+SITE_POOL_PIPE = "pool.pipe"
+SITE_EXECUTE_BATCH = "backend.execute_batch"
+SITE_SERVING_FLUSH = "serving.flush"
+
+#: Supported fault modes.
+MODES = ("kill", "hang", "exception", "delay", "pipe_loss")
+
+
+def chaos_enabled() -> bool:
+    """Whether ``REPRO_CHAOS`` asks for chaos (gates the chaos suite)."""
+    raw = os.environ.get(CHAOS_ENV, "").strip()
+    return raw not in ("", "0")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic misbehavior at one injection site.
+
+    Attributes:
+        site: Injection-point name (see module docstring).
+        mode: One of :data:`MODES` — ``kill`` hard-exits the process,
+            ``hang`` sleeps ``delay_s`` (long enough for hung-shard
+            detection to trip), ``exception`` raises
+            :class:`InjectedFault`, ``delay`` sleeps ``delay_s`` then
+            continues (a slow flush, not a dead one), ``pipe_loss``
+            raises :class:`BrokenPipeError`.
+        at: 1-based hit indices that fire (``(1,)`` = first hit only).
+        every: Fire on every ``every``-th hit (0 disables).
+        p: Per-hit firing probability, drawn from a stream seeded by
+            ``(plan.seed, spec index)`` — random-looking but replayable.
+        max_fires: Total firing budget for this spec (``None`` =
+            unbounded).
+        delay_s: Sleep duration for ``hang`` / ``delay`` modes.
+        max_spawn: Worker-side filter: fire only inside worker
+            processes whose spawn index is below this (``None`` = no
+            filter; such specs also fire in the parent process).
+        backend: Fire only when the site reports this backend name
+            (``None`` = any backend).
+    """
+
+    site: str
+    mode: str
+    at: tuple[int, ...] = ()
+    every: int = 0
+    p: float = 0.0
+    max_fires: int | None = None
+    delay_s: float = 30.0
+    max_spawn: int | None = None
+    backend: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.every < 0:
+            raise ValueError("every cannot be negative")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("p must be a probability")
+        if self.delay_s < 0:
+            raise ValueError("delay_s cannot be negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, picklable set of :class:`FaultSpec` entries.
+
+    Picklable by construction (plain frozen dataclasses), because the
+    plan must cross the spawn-context pipe into worker processes.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def sites(self) -> tuple[str, ...]:
+        """The distinct sites this plan touches."""
+        seen: dict[str, None] = {}
+        for spec in self.specs:
+            seen.setdefault(spec.site, None)
+        return tuple(seen)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a ``REPRO_CHAOS`` spec string into a plan.
+
+        Grammar: ``site:mode[:key=value,...]`` entries joined by
+        ``;``.  Keys are the :class:`FaultSpec` fields (``at`` takes
+        ``+``-separated indices); a top-level ``seed=N`` entry seeds
+        the plan.  Example::
+
+            REPRO_CHAOS="worker.shard:kill:at=1,max_spawn=2;seed=7"
+        """
+        specs = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if chunk.startswith("seed="):
+                seed = int(chunk[5:])
+                continue
+            parts = chunk.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"bad chaos spec {chunk!r}: expected site:mode[:opts]"
+                )
+            site, mode = parts[0], parts[1]
+            kwargs: dict = {}
+            if len(parts) > 2 and parts[2]:
+                for pair in parts[2].split(","):
+                    key, _, value = pair.partition("=")
+                    key = key.strip()
+                    if key == "at":
+                        kwargs["at"] = tuple(
+                            int(v) for v in value.split("+") if v
+                        )
+                    elif key in ("every", "max_fires", "max_spawn"):
+                        kwargs[key] = int(value)
+                    elif key in ("p", "delay_s"):
+                        kwargs[key] = float(value)
+                    elif key == "backend":
+                        kwargs[key] = value
+                    else:
+                        raise ValueError(
+                            f"unknown chaos spec option {key!r}"
+                        )
+            specs.append(FaultSpec(site=site, mode=mode, **kwargs))
+        return cls(specs=tuple(specs), seed=seed)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`: counts hits, fires faults.
+
+    One injector per process; worker processes build their own from the
+    plan shipped over the spawn pipe, tagged with their spawn index so
+    ``max_spawn`` filters work.  All state mutation happens under a
+    lock — sites fire from scheduler threads, dispatch workers, and
+    the gather loop concurrently.
+    """
+
+    def __init__(self, plan: FaultPlan, worker_spawn: int | None = None):
+        self.plan = plan
+        self.worker_spawn = worker_spawn
+        self._by_site: dict[str, list[tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(plan.specs):
+            self._by_site.setdefault(spec.site, []).append((index, spec))
+        self._hits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._rngs = {
+            index: np.random.default_rng((plan.seed, index))
+            for index, spec in enumerate(plan.specs)
+            if spec.p > 0.0
+        }
+        self._lock = threading.Lock()
+
+    # -- firing ----------------------------------------------------------
+
+    def fire(self, site: str, backend: str | None = None, **context) -> None:
+        """Record one hit at ``site``; misbehave if the plan says so.
+
+        Args:
+            site: Injection-point name.
+            backend: Backend name at the site, for ``backend=`` specs.
+            **context: Extra site context (slot, shard, ...) — carried
+                into the injected exception message for debuggability.
+
+        Raises:
+            InjectedFault: ``exception`` mode fired.
+            BrokenPipeError: ``pipe_loss`` mode fired.
+        """
+        specs = self._by_site.get(site)
+        if not specs:
+            return
+        actions = []
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            for index, spec in specs:
+                if self._should_fire(index, spec, hit, backend):
+                    self._fired[index] = self._fired.get(index, 0) + 1
+                    actions.append(spec)
+        for spec in actions:
+            self._act(spec, site, hit, context)
+
+    def _should_fire(
+        self, index: int, spec: FaultSpec, hit: int, backend: str | None
+    ) -> bool:
+        if spec.backend is not None and spec.backend != backend:
+            return False
+        if spec.max_spawn is not None and (
+            self.worker_spawn is None
+            or self.worker_spawn >= spec.max_spawn
+        ):
+            return False
+        if (
+            spec.max_fires is not None
+            and self._fired.get(index, 0) >= spec.max_fires
+        ):
+            return False
+        if hit in spec.at:
+            return True
+        if spec.every and hit % spec.every == 0:
+            return True
+        if spec.p > 0.0 and self._rngs[index].random() < spec.p:
+            return True
+        return False
+
+    def _act(
+        self, spec: FaultSpec, site: str, hit: int, context: dict
+    ) -> None:
+        detail = f"injected {spec.mode} at {site} (hit {hit}"
+        if context:
+            detail += ", " + ", ".join(
+                f"{k}={v}" for k, v in sorted(context.items())
+            )
+        detail += ")"
+        if spec.mode == "kill":
+            # A hard worker death: no cleanup, no exception propagation
+            # — exactly what an OOM kill or native segfault looks like
+            # from the parent's side of the pipe.
+            os._exit(17)
+        if spec.mode in ("hang", "delay"):
+            time.sleep(spec.delay_s)
+            return
+        if spec.mode == "pipe_loss":
+            raise BrokenPipeError(detail)
+        raise InjectedFault(detail)
+
+    # -- telemetry -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit and fire counters (per-process), for chaos assertions."""
+        with self._lock:
+            return {
+                "hits": dict(self._hits),
+                "fired": {
+                    self.plan.specs[i].site: n
+                    for i, n in self._fired.items()
+                },
+            }
+
+
+#: The process-wide injector; ``None`` = fault plane disabled.  Call
+#: sites guard with ``if faults.ACTIVE is not None`` — that identity
+#: check is the *entire* disabled-path cost.
+ACTIVE: FaultInjector | None = None
+
+
+def install(
+    plan: FaultPlan, worker_spawn: int | None = None
+) -> FaultInjector:
+    """Activate ``plan`` for this process; returns the injector."""
+    global ACTIVE
+    ACTIVE = FaultInjector(plan, worker_spawn=worker_spawn)
+    return ACTIVE
+
+
+def uninstall() -> None:
+    """Deactivate the fault plane (back to zero-overhead)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+def current_plan() -> FaultPlan | None:
+    """The installed plan, if any (shipped to spawned workers)."""
+    return ACTIVE.plan if ACTIVE is not None else None
+
+
+@contextlib.contextmanager
+def installed(plan: FaultPlan, worker_spawn: int | None = None):
+    """Scoped install/uninstall (the chaos tests' idiom)."""
+    global ACTIVE
+    previous = ACTIVE
+    injector = install(plan, worker_spawn=worker_spawn)
+    try:
+        yield injector
+    finally:
+        ACTIVE = previous
+
+
+def _install_from_env() -> None:
+    """Install a plan from a ``REPRO_CHAOS`` spec string, if one is set.
+
+    Runs once at import.  A bare truthy value (``1``) only gates the
+    chaos test suite; a value containing ``:`` is parsed as a
+    :class:`FaultPlan` spec and installed — including inside spawned
+    workers, which inherit the environment and re-import this module.
+    """
+    raw = os.environ.get(CHAOS_ENV, "").strip()
+    if ":" in raw:
+        install(FaultPlan.parse(raw))
+
+
+_install_from_env()

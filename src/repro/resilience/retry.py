@@ -1,0 +1,119 @@
+"""Retry with exponential backoff and jitter, plus deadline arithmetic.
+
+The policy object answers the three questions every retry loop asks —
+*is this exception worth another attempt*, *how long do I wait first*,
+and *have I run out of attempts* — in one immutable, shareable value.
+Backoff is exponential with a cap (a failing backend should not be
+hammered at a fixed cadence) and jittered (synchronized retries from
+many dispatch threads would otherwise re-converge into the thundering
+herd that made the first attempt fail).  Jitter comes from a caller-
+supplied RNG so tests can pin it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+
+from repro.resilience.errors import TransientError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to retry a failed operation.
+
+    Attributes:
+        max_attempts: Total attempts including the first (1 = never
+            retry).
+        backoff_base_s: Delay before the first retry; doubles per
+            retry.
+        backoff_cap_s: Upper bound on any single delay.
+        jitter: Fractional jitter — each delay is scaled by a factor
+            drawn uniformly from ``[1, 1 + jitter]``.
+        retryable: Exception types worth retrying.  Defaults to
+            :class:`TransientError` — the taxonomy root every
+            environmental failure in the stack subclasses (worker
+            crashes, injected chaos); deterministic exceptions are
+            excluded by default because they fail identically on every
+            attempt.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.25
+    retryable: tuple[type, ...] = (TransientError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays cannot be negative")
+        if self.jitter < 0:
+            raise ValueError("jitter cannot be negative")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is the kind of failure retrying can fix."""
+        return isinstance(exc, self.retryable)
+
+    def delay_s(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff delay after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        delay = min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2.0 ** (attempt - 1)),
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def run(self, fn, rng: random.Random | None = None, on_retry=None):
+        """Call ``fn()`` under this policy; returns its result.
+
+        Args:
+            fn: Zero-argument callable to attempt.
+            rng: Jitter source (``None`` = deterministic un-jittered
+                delays).
+            on_retry: Optional callback ``(attempt, exc)`` invoked
+                before each backoff sleep — telemetry hook.
+
+        Raises:
+            The last exception, once attempts are exhausted or the
+            failure is not retryable.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except Exception as exc:
+                if attempt >= self.max_attempts or not self.is_retryable(
+                    exc
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                delay = self.delay_s(attempt, rng=rng)
+                if delay > 0:
+                    time.sleep(delay)
+
+
+class Deadline:
+    """An absolute monotonic deadline with convenience arithmetic."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, seconds: float | None, clock=time.monotonic):
+        self.at = None if seconds is None else clock() + float(seconds)
+
+    def expired(self, clock=time.monotonic) -> bool:
+        """Whether the deadline has passed (never, if unbounded)."""
+        return self.at is not None and clock() >= self.at
+
+    def remaining(self, clock=time.monotonic) -> float | None:
+        """Seconds left (clamped at 0), or ``None`` when unbounded."""
+        if self.at is None:
+            return None
+        return max(0.0, self.at - clock())

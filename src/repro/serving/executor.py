@@ -34,12 +34,25 @@ class ServiceExecutor:
         priority: Queue priority for this client's submissions (lower
             runs first — e.g. give validation sweeps a back seat).
         name: Client name for logs; defaults to the service's name.
+        deadline_s: Per-submission latency bound applied to every job
+            this client creates (``None`` = unbounded).  A missed
+            deadline surfaces as a
+            :class:`~repro.hardware.JobError` caused by
+            :class:`~repro.resilience.DeadlineExceeded`, like any
+            other failed run.
     """
 
-    def __init__(self, service, priority: int = 0, name: str | None = None):
+    def __init__(
+        self,
+        service,
+        priority: int = 0,
+        name: str | None = None,
+        deadline_s: float | None = None,
+    ):
         self._service = service
         self.priority = int(priority)
         self.name = name or f"{service.name}-client"
+        self.deadline_s = deadline_s
         self.meter = CircuitRunMeter()
 
     def run(
@@ -50,7 +63,11 @@ class ServiceExecutor:
     ) -> list[ExecutionResult]:
         """Submit and wait; same contract as :meth:`Backend.run`."""
         job = self._service.submit(
-            circuits, shots=shots, purpose=purpose, priority=self.priority
+            circuits,
+            shots=shots,
+            purpose=purpose,
+            priority=self.priority,
+            deadline_s=self.deadline_s,
         )
         results = job.result()
         self.meter.record(

@@ -121,7 +121,29 @@ class JobQueue:
             _, _, item = heapq.heappop(self._heap)
             self.gets += 1
             self._not_full.notify()
+            if self._heap:
+                # Chain the wakeup: ``put`` notifies exactly one
+                # consumer, so when several are blocked and items
+                # outnumber wakeups (a burst, or leftovers at close),
+                # each consumer that takes an item passes the signal
+                # on.  Without this, shutdown could strand a blocked
+                # consumer with work still queued.
+                self._not_empty.notify()
             return item
+
+    def drain(self) -> list:
+        """Atomically remove and return all queued items, in drain order.
+
+        Used at shutdown: the service fails every unstarted job
+        explicitly instead of leaving it queued behind a closed gate.
+        Frees capacity, so blocked producers wake (into
+        :class:`QueueClosed` if the queue is closed).
+        """
+        with self._lock:
+            items = [item for _, _, item in sorted(self._heap)]
+            self._heap.clear()
+            self._not_full.notify_all()
+            return items
 
     def close(self) -> None:
         """Refuse new work and wake every blocked producer/consumer."""

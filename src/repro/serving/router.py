@@ -15,14 +15,27 @@ Each backend executes at most one batch at a time (a per-backend lock —
 which is thread-safe), so ``least_outstanding`` doubles as a
 queue-depth signal.  Per-backend meters stay the source of truth for
 usage; :meth:`Router.stats` rolls them up for service-level reporting.
+
+Health-aware routing: every backend sits behind a
+:class:`~repro.resilience.CircuitBreaker`.  A backend that fails
+``failure_threshold`` consecutive flushes stops receiving traffic
+until its cooldown elapses, then gets a half-open probe (naturally
+serialized by its run lock); selection only considers available
+backends, so a dead node degrades the pool's capacity instead of
+poisoning a fixed fraction of flushes.  When *every* breaker is open,
+the router routes to the one closest to probe time rather than
+refusing outright — an all-open pool usually means a shared transient,
+and refusing would turn it into total unavailability.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Sequence
 
 from repro.hardware.backend import Backend, ExecutionResult
+from repro.resilience.breaker import CircuitBreaker
 
 #: Selection policies understood by :class:`Router`.
 POLICIES = ("round_robin", "least_outstanding")
@@ -34,9 +47,21 @@ class Router:
     Args:
         backends: Non-empty backend pool.
         policy: One of :data:`POLICIES`.
+        failure_threshold: Consecutive flush failures that open a
+            backend's breaker.
+        reset_timeout_s: Open-breaker cooldown before a probe.
+        clock: Monotonic time source for the breakers (injectable for
+            tests).
     """
 
-    def __init__(self, backends: Sequence[Backend], policy: str = "round_robin"):
+    def __init__(
+        self,
+        backends: Sequence[Backend],
+        policy: str = "round_robin",
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock=time.monotonic,
+    ):
         backends = list(backends)
         if not backends:
             raise ValueError("Router needs at least one backend")
@@ -47,6 +72,14 @@ class Router:
             )
         self.backends = backends
         self.policy = policy
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_timeout_s=reset_timeout_s,
+                clock=clock,
+            )
+            for _ in backends
+        ]
         self._lock = threading.Lock()
         self._next = 0
         self._outstanding = [0] * len(backends)
@@ -69,15 +102,28 @@ class Router:
         return all(b.exact_execution() for b in self.backends)
 
     def _select(self) -> int:
+        healthy = [
+            i
+            for i in range(len(self.backends))
+            if self.breakers[i].available()
+        ]
+        if not healthy:
+            # Every breaker is open: route to the backend closest to
+            # its probe window instead of refusing the flush outright.
+            return min(
+                range(len(self.backends)),
+                key=lambda i: self.breakers[i].cooldown_remaining(),
+            )
         if self.policy == "round_robin":
-            index = self._next
-            self._next = (self._next + 1) % len(self.backends)
-            return index
-        # least_outstanding: first backend with the fewest in-flight
+            # First healthy backend at or after the rotation cursor.
+            for offset in range(len(self.backends)):
+                index = (self._next + offset) % len(self.backends)
+                if index in healthy:
+                    self._next = (index + 1) % len(self.backends)
+                    return index
+        # least_outstanding: healthy backend with the fewest in-flight
         # batches; stable tie-break keeps single-backend pools trivial.
-        return min(
-            range(len(self.backends)), key=lambda i: self._outstanding[i]
-        )
+        return min(healthy, key=lambda i: self._outstanding[i])
 
     def execute(
         self,
@@ -105,6 +151,8 @@ class Router:
             self._dispatched[index] += 1
             self._circuits[index] += len(circuits)
         backend = self.backends[index]
+        breaker = self.breakers[index]
+        breaker.on_dispatch()
         try:
             with self._run_locks[index]:
                 before = backend.meter.snapshot()
@@ -113,7 +161,15 @@ class Router:
                     validate=validate,
                 )
                 window = backend.meter.diff(before)
+            breaker.record_success()
             return results, backend, window
+        except Exception as exc:
+            breaker.record_failure()
+            # Failure context for the scheduler's FlushError: which
+            # backend this flush died on (the exception type alone
+            # cannot say — the same error can come from any node).
+            exc.backend_name = backend.name
+            raise
         finally:
             with self._lock:
                 self._outstanding[index] -= 1
@@ -146,6 +202,7 @@ class Router:
             outstanding = list(self._outstanding)
             dispatched = list(self._dispatched)
             circuits = list(self._circuits)
+        breaker_stats = [b.stats() for b in self.breakers]
         return {
             "policy": self.policy,
             "backends": [
@@ -155,8 +212,11 @@ class Router:
                     "dispatched_circuits": circuits[i],
                     "outstanding": outstanding[i],
                     "meter": backend.meter.snapshot(),
+                    "breaker": breaker_stats[i],
                 }
                 for i, backend in enumerate(self.backends)
             ],
+            "breaker_states": [b["state"] for b in breaker_stats],
+            "breaker_trips": sum(b["trips"] for b in breaker_stats),
             "meter_totals": self.meter_totals(),
         }

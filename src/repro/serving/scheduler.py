@@ -23,16 +23,37 @@ are part of the bucket key precisely so the whole bucket is a legal
 single submission (one shot setting, one meter tag).  Flushes are
 handed to a small dispatch pool (one worker per backend) so a slow
 backend never stalls coalescing for the others.
+
+Failure handling (the resilience tier)
+--------------------------------------
+Before a flush executes, items whose job is already resolved
+(cancelled, failed) or past its deadline are dropped — a dead job must
+not consume backend time.  The flush itself then runs under a
+:class:`~repro.resilience.RetryPolicy`: transient failures (worker
+crashes, injected chaos) are retried with exponential backoff and
+jitter, each attempt re-routed — the breaker-aware router naturally
+steers retries away from the backend that just failed.  When retries
+are exhausted — or the failure is deterministic and retrying would be
+pointless — a multi-item flush is **bisected**: each half retries
+independently, recursively, until the poisoned item is isolated to a
+single-circuit flush whose job alone fails (with a
+:class:`~repro.resilience.FlushError` carrying the backend name, flush
+key, attempt count, and worker slot).  Healthy items riding in the
+same bucket as a poison pill still get their results.
 """
 
 from __future__ import annotations
 
 import _thread
 import dataclasses
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.resilience import faults as _faults
+from repro.resilience.errors import DeadlineExceeded, FlushError
+from repro.resilience.retry import RetryPolicy
 from repro.serving.cache import ResultCache
 from repro.serving.queue import JobQueue
 from repro.serving.router import Router
@@ -97,6 +118,8 @@ class CoalescingScheduler:
         cache: Optional result cache to fill after execution.
         max_batch_size: Size-flush threshold per bucket.
         max_delay_s: Deadline-flush bound per bucket.
+        retry_policy: Transient-failure policy for flushes (``None`` =
+            default :class:`RetryPolicy`).
     """
 
     def __init__(
@@ -106,6 +129,7 @@ class CoalescingScheduler:
         cache: ResultCache | None = None,
         max_batch_size: int = 256,
         max_delay_s: float = 0.005,
+        retry_policy: RetryPolicy | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be positive")
@@ -116,6 +140,10 @@ class CoalescingScheduler:
         self._cache = cache
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = float(max_delay_s)
+        self.retry_policy = retry_policy or RetryPolicy()
+        # Jitter source for retry backoff; seeded so test timings are
+        # stable (jitter never touches results, only sleep lengths).
+        self._retry_rng = random.Random(0)
         self._buckets: dict[tuple, _Bucket] = {}
         self._thread: threading.Thread | None = None
         self._pool: ThreadPoolExecutor | None = None
@@ -127,6 +155,12 @@ class CoalescingScheduler:
         self.circuits_dispatched = 0
         self.largest_batch = 0
         self.last_flush: dict | None = None
+        # Resilience telemetry.
+        self.retries = 0
+        self.bisections = 0
+        self.flush_failures = 0
+        self.deadline_failures = 0
+        self.dropped_resolved = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -230,26 +264,119 @@ class CoalescingScheduler:
         # re-raised KeyboardInterrupt/SystemExit from the worker.
         future.add_done_callback(_surface_interrupt)
 
+    def _screen(self, items: list[WorkItem]) -> list[WorkItem]:
+        """Drop items whose job no longer wants a result.
+
+        Cancelled and already-failed jobs are released silently; jobs
+        past their deadline are failed with :class:`DeadlineExceeded`
+        here, *before* the flush burns backend time on them.
+        """
+        live: list[WorkItem] = []
+        for item in items:
+            job = item.job
+            if getattr(job, "error", None) is not None:
+                if item.release is not None:
+                    item.release()
+                with self._stats_lock:
+                    self.dropped_resolved += 1
+                continue
+            deadline = getattr(job, "deadline", None)
+            if deadline is not None and deadline.expired():
+                job._fail(
+                    DeadlineExceeded(
+                        f"{getattr(job, 'job_id', 'job')} missed its "
+                        f"deadline before execution"
+                    )
+                )
+                if item.release is not None:
+                    item.release()
+                with self._stats_lock:
+                    self.deadline_failures += 1
+                continue
+            live.append(item)
+        return live
+
     def _run_batch(self, items: list[WorkItem], reason: str) -> None:
+        items = self._screen(items)
+        if items:
+            self._run_slice(items, reason)
+
+    def _run_slice(self, items: list[WorkItem], reason: str) -> None:
+        """Execute one flush slice: retry transients, bisect poison.
+
+        The recursion bottoms out at single-item slices, so a
+        deterministic failure is always quarantined to exactly the
+        jobs that caused it.
+        """
         circuits = [item.circuit for item in items]
         shots = items[0].shots
         purpose = items[0].purpose
-        try:
+        flush_key = (
+            items[0].circuit.structure_signature(),
+            shots,
+            purpose,
+        )
+        attempts = 0
+
+        def attempt():
+            nonlocal attempts
+            attempts += 1
+            if _faults.ACTIVE is not None:
+                # Fired per *attempt*, so `at=1` poisons only the first
+                # try (a retry succeeds) while `every=1` poisons all of
+                # them (bisection takes over).
+                _faults.ACTIVE.fire(
+                    _faults.SITE_SERVING_FLUSH,
+                    shots=shots,
+                    purpose=purpose,
+                )
             # validate=False: every item passed circuit.validate() at
             # submit time; re-checking per flush would double the cost.
-            results, backend, window = self._router.execute(
+            return self._router.execute(
                 circuits, shots=shots, purpose=purpose, validate=False
             )
-        except BaseException as exc:  # propagate to every waiting client
-            for item in items:
-                item.job._fail(exc)
-                if item.release is not None:
-                    item.release()
+
+        def count_retry(attempt_no, exc):
+            with self._stats_lock:
+                self.retries += 1
+
+        try:
+            results, backend, window = self.retry_policy.run(
+                attempt, rng=self._retry_rng, on_retry=count_retry
+            )
+        except BaseException as exc:
             if not isinstance(exc, Exception):
                 # KeyboardInterrupt / SystemExit must not be swallowed
-                # by a dispatch worker: the waiting jobs were failed
-                # above, now let the exception surface to the pool.
+                # by a dispatch worker: fail the waiting jobs so their
+                # clients unblock, then let the exception surface.
+                for item in items:
+                    item.job._fail(exc)
+                    if item.release is not None:
+                        item.release()
                 raise
+            if len(items) > 1:
+                # The poison could be any member: bisect, letting each
+                # half retry independently until it is isolated.
+                with self._stats_lock:
+                    self.bisections += 1
+                mid = len(items) // 2
+                self._run_slice(items[:mid], reason)
+                self._run_slice(items[mid:], reason)
+                return
+            with self._stats_lock:
+                self.flush_failures += 1
+            failure = FlushError(
+                f"flush failed after {attempts} attempt(s): {exc}",
+                backend=getattr(exc, "backend_name", None),
+                flush_key=flush_key,
+                attempts=attempts,
+                worker=getattr(exc, "slot", None),
+            )
+            failure.__cause__ = exc
+            for item in items:
+                item.job._fail(failure)
+                if item.release is not None:
+                    item.release()
             return
         with self._stats_lock:
             self.last_flush = {
@@ -277,6 +404,11 @@ class CoalescingScheduler:
                 "drain_flushes": self.drain_flushes,
                 "circuits_dispatched": self.circuits_dispatched,
                 "largest_batch": self.largest_batch,
+                "retries": self.retries,
+                "bisections": self.bisections,
+                "flush_failures": self.flush_failures,
+                "deadline_failures": self.deadline_failures,
+                "dropped_resolved": self.dropped_resolved,
                 "pending_buckets": len(self._buckets),
                 "max_batch_size": self.max_batch_size,
                 "max_delay_s": self.max_delay_s,

@@ -34,6 +34,8 @@ from collections.abc import Sequence
 
 from repro.hardware.backend import Backend, ExecutionResult
 from repro.hardware.job import LIFECYCLE, JobError, JobIdAllocator, JobStatus
+from repro.resilience.errors import DeadlineExceeded, JobCancelled
+from repro.resilience.retry import Deadline, RetryPolicy
 from repro.serving.cache import ResultCache
 from repro.serving.queue import JobQueue, QueueClosed, QueueFull
 from repro.serving.router import Router
@@ -77,6 +79,16 @@ class ServiceJob:
 
     Walks the :class:`~repro.hardware.JobStatus` lifecycle.  Obtain the
     results with :meth:`result` (blocking) or poll :meth:`done`.
+
+    Resilience: an optional per-job **deadline** bounds end-to-end
+    latency — work not finished when it expires fails with
+    :class:`~repro.resilience.DeadlineExceeded` (the scheduler drops
+    expired items before execution; :meth:`result` enforces it while
+    waiting).  :meth:`cancel` withdraws a pending job: unstarted items
+    are dropped at flush time, in-flight results are discarded.  When
+    a job fails, :attr:`error` carries the failure context — for flush
+    failures a :class:`~repro.resilience.FlushError` naming the
+    backend, flush key, attempt count, and worker slot involved.
     """
 
     def __init__(
@@ -86,12 +98,15 @@ class ServiceJob:
         shots: int,
         purpose: str,
         priority: int,
+        deadline_s: float | None = None,
     ):
         self.job_id = job_id
         self.circuits = list(circuits)
         self.shots = int(shots)
         self.purpose = purpose
         self.priority = int(priority)
+        self.deadline = Deadline(deadline_s)
+        self.cancelled = False
         self.status = JobStatus.CREATED
         self.error: BaseException | None = None
         self.cache_hits = 0
@@ -139,18 +154,48 @@ class ServiceJob:
         """True once results (or a failure) are available."""
         return self._done.is_set()
 
+    def cancel(self) -> bool:
+        """Withdraw a pending job; returns whether it was cancelled.
+
+        A finished job cannot be cancelled (``False``).  Otherwise the
+        job fails with :class:`~repro.resilience.JobCancelled`;
+        unstarted work items are dropped (and their backpressure
+        reservations released) when the scheduler next sees them, and
+        results from flushes already in flight are discarded.
+        """
+        if self._done.is_set():
+            return False
+        self.cancelled = True
+        self._fail(JobCancelled(f"{self.job_id} cancelled by client"))
+        return True
+
     def result(self, timeout: float | None = None) -> list[ExecutionResult]:
         """Block until finished; one result per submitted circuit.
 
+        Waits no longer than the job's own deadline, when it has one —
+        a deadline that expires mid-wait fails the job with
+        :class:`~repro.resilience.DeadlineExceeded`.
+
         Raises:
             TimeoutError: Not finished within ``timeout`` seconds.
-            JobError: The submission failed; the original backend
-                exception is chained as the cause.
+            JobError: The submission failed (or missed its deadline);
+                the original exception is chained as the cause.
         """
-        if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"{self.job_id} not finished within {timeout}s"
-            )
+        remaining = self.deadline.remaining()
+        wait = timeout
+        if remaining is not None and (wait is None or remaining < wait):
+            wait = remaining
+        if not self._done.wait(wait):
+            if self.deadline.expired():
+                self._fail(
+                    DeadlineExceeded(
+                        f"{self.job_id} missed its deadline"
+                    )
+                )
+            else:
+                raise TimeoutError(
+                    f"{self.job_id} not finished within {timeout}s"
+                )
         if self.error is not None:
             raise JobError(
                 f"{self.job_id} failed: {self.error}"
@@ -196,6 +241,14 @@ class ExecutionService:
             backend's meter, so callers keep observing usage on the
             backend object they handed in; the service closes the
             wrappers' pools in :meth:`stop`.
+        retry_policy: Flush retry policy handed to the scheduler
+            (``None`` = the :class:`~repro.resilience.RetryPolicy`
+            default: 3 attempts, exponential backoff with jitter,
+            transient failures only).
+        failure_threshold: Consecutive flush failures that open a
+            backend's circuit breaker in the router.
+        reset_timeout_s: Open-breaker cooldown before a half-open
+            probe.
     """
 
     def __init__(
@@ -209,12 +262,20 @@ class ExecutionService:
         enable_cache: bool = True,
         name: str = "svc",
         workers: int | None = None,
+        retry_policy: RetryPolicy | None = None,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
     ):
         if isinstance(backends, Backend):
             backends = [backends]
         self.name = name
         backends, self._sharded = _shard_backends(backends, workers)
-        self.router = Router(backends, policy=policy)
+        self.router = Router(
+            backends,
+            policy=policy,
+            failure_threshold=failure_threshold,
+            reset_timeout_s=reset_timeout_s,
+        )
         # The intake queue itself is unbounded: _admit() already bounds
         # every circuit in the pipeline (queue included), and a second
         # cap here would only make oversized submissions block twice.
@@ -228,6 +289,7 @@ class ExecutionService:
             cache=self.cache,
             max_batch_size=max_batch_size,
             max_delay_s=max_delay_s,
+            retry_policy=retry_policy,
         )
         self._job_ids = JobIdAllocator(prefix=name)
         self._lock = threading.Lock()
@@ -332,6 +394,7 @@ class ExecutionService:
         purpose: str = "run",
         priority: int = 0,
         timeout: float | None = None,
+        deadline_s: float | None = None,
     ) -> ServiceJob:
         """Asynchronously execute ``circuits``; returns a future.
 
@@ -349,6 +412,10 @@ class ExecutionService:
             priority: Queue priority; lower runs first.
             timeout: Seconds to wait for queue capacity before raising
                 :class:`~repro.serving.QueueFull` (backpressure).
+            deadline_s: End-to-end latency bound for this job; work
+                not finished within it fails with
+                :class:`~repro.resilience.DeadlineExceeded` instead of
+                waiting forever.  ``None`` = no deadline.
 
         Raises:
             JobError: A circuit failed validation (synchronously, like
@@ -363,7 +430,12 @@ class ExecutionService:
             )
         self.start()
         job = ServiceJob(
-            self._job_ids.next_id(), circuits, shots, purpose, priority
+            self._job_ids.next_id(),
+            circuits,
+            shots,
+            purpose,
+            priority,
+            deadline_s=deadline_s,
         )
         try:
             for circuit in job.circuits:
@@ -450,7 +522,12 @@ class ExecutionService:
             circuits, shots=shots, purpose=purpose, priority=priority
         ).result()
 
-    def executor(self, priority: int = 0, name: str | None = None):
+    def executor(
+        self,
+        priority: int = 0,
+        name: str | None = None,
+        deadline_s: float | None = None,
+    ):
         """A :class:`~repro.serving.ServiceExecutor` bound to this service.
 
         The executor quacks like a :class:`~repro.hardware.Backend`, so
@@ -459,9 +536,45 @@ class ExecutionService:
         """
         from repro.serving.executor import ServiceExecutor
 
-        return ServiceExecutor(self, priority=priority, name=name)
+        return ServiceExecutor(
+            self, priority=priority, name=name, deadline_s=deadline_s
+        )
 
     # -- telemetry -------------------------------------------------------
+
+    def resilience_stats(self) -> dict:
+        """One-stop roll-up of every resilience signal in the service.
+
+        Aggregates scheduler retries/bisections, pool restarts and
+        degradations from every sharded backend in the routing pool,
+        and the router's breaker states — the line ``repro
+        serve-bench`` prints.
+        """
+        restarts = 0
+        hangs = 0
+        fallbacks = 0
+        degraded = 0
+        for backend in self.router.backends:
+            pool = getattr(backend, "pool", None)
+            if pool is not None:
+                restarts += pool.restarts
+                hangs += pool.hangs
+            fallbacks += getattr(backend, "fallbacks", 0)
+            degraded += int(getattr(backend, "degraded", False))
+        router_stats = self.router.stats()
+        scheduler_stats = self.scheduler.stats()
+        return {
+            "retries": scheduler_stats["retries"],
+            "bisections": scheduler_stats["bisections"],
+            "flush_failures": scheduler_stats["flush_failures"],
+            "deadline_failures": scheduler_stats["deadline_failures"],
+            "restarts": restarts,
+            "hangs": hangs,
+            "fallbacks": fallbacks,
+            "degraded_backends": degraded,
+            "breaker_states": router_stats["breaker_states"],
+            "breaker_trips": router_stats["breaker_trips"],
+        }
 
     def stats(self) -> dict:
         """Service-level roll-up: intake, cache, scheduler, router."""
@@ -480,4 +593,5 @@ class ExecutionService:
             "queue": self.queue.stats(),
             "scheduler": self.scheduler.stats(),
             "router": self.router.stats(),
+            "resilience": self.resilience_stats(),
         }
